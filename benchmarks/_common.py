@@ -1,0 +1,31 @@
+"""Shared constants and helpers for the benchmark harness.
+
+Kept outside ``conftest.py`` so benchmark modules can import them directly
+(``from _common import ...``) regardless of how pytest was invoked.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Densities swept in Figs. 4 and 6.
+FIG4_DENSITIES = [0.01, 0.02, 0.05, 0.10, 0.15, 0.20, 0.30, 0.40, 0.50]
+#: Node counts (per side) swept in Figs. 5 and 7.
+FIG5_NODE_COUNTS = [10, 30, 50, 70, 90, 110, 130, 150]
+#: Trials averaged per data point.
+TRIALS = 3
+#: Nodes per side in the density sweeps (the paper uses 50 threads / 50 objects).
+FIG4_NODES = 50
+#: Fixed density in the node-count sweeps.
+FIG5_DENSITY = 0.05
+
+
+def write_result(name: str, text: str) -> Path:
+    """Persist a rendered table under ``benchmarks/results`` and echo it."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n=== {name} ===\n{text}\n(written to {path})")
+    return path

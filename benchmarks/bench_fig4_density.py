@@ -1,0 +1,60 @@
+"""Figure 4: online vector clock size as graph density increases.
+
+Paper setup: 50 threads and 50 objects per side; the three online
+mechanisms (Naive, Random, Popularity) run over randomly revealed edges of
+Uniform and Nonuniform random bipartite graphs of increasing density.
+
+Expected shape (Section V, first evaluation):
+
+* at low density Random and Popularity produce clocks much smaller than the
+  Naive thread clock (a flat line at 50);
+* beyond a density threshold they become *worse* than Naive;
+* both do markedly better on the Nonuniform scenario;
+* Popularity is slightly better than Random on average.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import density_sweep, format_sweep, sweep_crossovers
+
+from _common import FIG4_DENSITIES, FIG4_NODES, TRIALS
+
+
+def _run(scenario: str):
+    return density_sweep(
+        FIG4_DENSITIES,
+        num_threads=FIG4_NODES,
+        num_objects=FIG4_NODES,
+        scenario=scenario,
+        trials=TRIALS,
+        base_seed=4_000,
+    )
+
+
+@pytest.mark.benchmark(group="fig4-density")
+@pytest.mark.parametrize("scenario", ["uniform", "nonuniform"])
+def test_fig4_vector_size_vs_density(benchmark, record_table, scenario):
+    result = benchmark.pedantic(_run, args=(scenario,), rounds=1, iterations=1)
+
+    crossings = sweep_crossovers(result, baseline="thread_clock")
+    text = format_sweep(result) + "\n\ncrossover vs flat Naive (=n) line: " + repr(crossings)
+    record_table(f"fig4_density_{scenario}", text)
+
+    # Shape assertions from the paper.
+    lowest = result.points[0]
+    highest = result.points[-1]
+    n = FIG4_NODES
+    # At the lowest density both adaptive mechanisms beat the flat Naive line.
+    assert lowest.sizes["random"].mean < n
+    assert lowest.sizes["popularity"].mean < n
+    # At the highest density they are worse than Naive.
+    assert highest.sizes["random"].mean > n
+    assert highest.sizes["popularity"].mean > n
+    if scenario == "nonuniform":
+        # Nonuniform: adaptive mechanisms stay well below Naive at density 0.05.
+        at_005 = result.points[FIG4_DENSITIES.index(0.05)]
+        assert at_005.sizes["popularity"].mean < 0.6 * n
+        # Popularity <= Random (the paper: "Popularity is slightly better").
+        assert at_005.sizes["popularity"].mean <= at_005.sizes["random"].mean + 1.0

@@ -1,0 +1,54 @@
+"""Figure 5: online vector clock size as the number of nodes increases.
+
+Paper setup: density fixed at 0.05, both sides of the bipartite graph grown
+from 10 to 150 nodes; the three online mechanisms compared.
+
+Expected shape (Section V, second evaluation):
+
+* clock sizes grow with the node count for every mechanism;
+* below a node-count threshold (the paper reads ~70 per side off its plot)
+  Random and Popularity beat the flat Naive line (= n);
+* above the threshold Naive wins.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_sweep, node_sweep, sweep_crossovers
+
+from _common import FIG5_DENSITY, FIG5_NODE_COUNTS, TRIALS
+
+
+def _run(scenario: str):
+    return node_sweep(
+        FIG5_NODE_COUNTS,
+        density=FIG5_DENSITY,
+        scenario=scenario,
+        trials=TRIALS,
+        base_seed=5_000,
+    )
+
+
+@pytest.mark.benchmark(group="fig5-nodes")
+@pytest.mark.parametrize("scenario", ["uniform", "nonuniform"])
+def test_fig5_vector_size_vs_node_count(benchmark, record_table, scenario):
+    result = benchmark.pedantic(_run, args=(scenario,), rounds=1, iterations=1)
+
+    crossings = sweep_crossovers(result, baseline="thread_clock")
+    text = format_sweep(result) + "\n\ncrossover vs flat Naive (=n) line: " + repr(crossings)
+    record_table(f"fig5_nodes_{scenario}", text)
+
+    # Clock sizes grow with the number of nodes (compare first and last point).
+    for mechanism in ("naive", "random", "popularity"):
+        assert result.series(mechanism)[-1] > result.series(mechanism)[0]
+
+    smallest = result.points[0]
+    largest = result.points[-1]
+    # At the smallest size the adaptive mechanisms do not exceed the Naive line...
+    assert smallest.sizes["popularity"].mean <= smallest.sizes["thread_clock"].mean
+    if scenario == "uniform":
+        # ... and at the largest size (density 0.05, 150 nodes/side) they are
+        # worse than Naive, reproducing the crossover of Fig. 5.
+        assert largest.sizes["popularity"].mean > largest.sizes["thread_clock"].mean
+        assert largest.sizes["random"].mean > largest.sizes["thread_clock"].mean

@@ -1,0 +1,58 @@
+"""Figure 6: offline optimum vs online Popularity vs Naive, sweeping density.
+
+Paper setup: 50 nodes per side, density swept; the offline algorithm
+(minimum vertex cover) is compared with the online Popularity mechanism and
+the Naive baseline.
+
+Expected shape (Section V, third evaluation):
+
+* the offline optimum is the smallest series everywhere;
+* the Naive clock is a flat line at n = 50 and the offline algorithm is
+  clearly below it at low density;
+* Popularity sits between the optimum and Naive, and the gap to the optimum
+  widens as density grows (Popularity is "not suitable for relatively dense
+  graphs").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import density_sweep, format_sweep
+
+from _common import FIG4_DENSITIES, FIG4_NODES, TRIALS
+
+
+def _run(scenario: str):
+    return density_sweep(
+        FIG4_DENSITIES,
+        num_threads=FIG4_NODES,
+        num_objects=FIG4_NODES,
+        scenario=scenario,
+        trials=TRIALS,
+        base_seed=6_000,
+        include_offline=True,
+    )
+
+
+@pytest.mark.benchmark(group="fig6-offline-vs-online-density")
+@pytest.mark.parametrize("scenario", ["uniform", "nonuniform"])
+def test_fig6_offline_vs_online_vs_density(benchmark, record_table, scenario):
+    result = benchmark.pedantic(_run, args=(scenario,), rounds=1, iterations=1)
+    record_table(f"fig6_offline_vs_online_density_{scenario}", format_sweep(result))
+
+    n = FIG4_NODES
+    gaps = []
+    for point in result.points:
+        offline = point.offline.mean
+        popularity = point.sizes["popularity"].mean
+        # Offline optimum is a lower bound for every mechanism and for min(n, m).
+        assert offline <= popularity + 1e-9
+        assert offline <= point.sizes["naive"].mean + 1e-9
+        assert offline <= n
+        gaps.append(popularity - offline)
+    # The offline algorithm beats the flat Naive line at low density ...
+    assert result.points[0].offline.mean < n
+    # ... and the Popularity-vs-optimal gap grows with density (compare the
+    # sparse and dense ends of the sweep).
+    assert gaps[-1] > gaps[0]

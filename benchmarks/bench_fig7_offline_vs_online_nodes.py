@@ -1,0 +1,57 @@
+"""Figure 7: offline optimum vs online Popularity vs Naive, sweeping node count.
+
+Paper setup: density fixed at 0.05, both sides grown from 10 to 150 nodes;
+the offline optimum, the online Popularity mechanism and the Naive baseline
+are compared.
+
+Expected shape (Section V, third evaluation):
+
+* the offline optimum stays below both online mechanisms at every size;
+* at 50-70 nodes per side the optimum is clearly below the Naive line
+  (the paper quotes ~35 vs 50 at n=50 and ~48 vs 70 at n=70 on its
+  generator; the ratio, not the absolute value, is what the simulator is
+  expected to reproduce);
+* the Popularity-vs-optimum gap widens as the graph grows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_sweep, node_sweep
+
+from _common import FIG5_DENSITY, FIG5_NODE_COUNTS, TRIALS
+
+
+def _run(scenario: str):
+    return node_sweep(
+        FIG5_NODE_COUNTS,
+        density=FIG5_DENSITY,
+        scenario=scenario,
+        trials=TRIALS,
+        base_seed=7_000,
+        include_offline=True,
+    )
+
+
+@pytest.mark.benchmark(group="fig7-offline-vs-online-nodes")
+@pytest.mark.parametrize("scenario", ["uniform", "nonuniform"])
+def test_fig7_offline_vs_online_vs_node_count(benchmark, record_table, scenario):
+    result = benchmark.pedantic(_run, args=(scenario,), rounds=1, iterations=1)
+    record_table(f"fig7_offline_vs_online_nodes_{scenario}", format_sweep(result))
+
+    gaps = []
+    for point, nodes in zip(result.points, FIG5_NODE_COUNTS):
+        offline = point.offline.mean
+        popularity = point.sizes["popularity"].mean
+        assert offline <= popularity + 1e-9
+        assert offline <= nodes  # never above min(n, m) = n
+        gaps.append(popularity - offline)
+    # The offline optimum is strictly below the Naive (= n) line at the
+    # paper's reference point of 50 nodes per side.
+    fifty = result.points[FIG5_NODE_COUNTS.index(50)]
+    assert fifty.offline.mean < 50
+    # The optimum grows with the graph ...
+    assert result.series("offline")[-1] > result.series("offline")[0]
+    # ... and the Popularity-vs-optimum gap widens with size.
+    assert gaps[-1] >= gaps[0]

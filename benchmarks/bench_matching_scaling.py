@@ -1,0 +1,83 @@
+"""Extra experiment E5: maximum-matching and offline-pipeline scaling.
+
+The paper relies on Hopcroft-Karp's ``O(E * sqrt(V))`` bound for the offline
+algorithm.  This benchmark measures the two matcher implementations and the
+full offline pipeline (matching + König cover) on growing random graphs so
+the cost of "computing the optimal clock" is documented alongside the size
+results.  pytest-benchmark timings are the primary output; a summary table
+of matching sizes is also written for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.graph import (
+    augmenting_path_matching,
+    hopcroft_karp_matching,
+    uniform_bipartite,
+)
+from repro.offline import optimal_components_for_graph
+
+from _common import write_result
+
+SIZES = [50, 100, 200, 400]
+#: Average degree kept constant across sizes so the graphs stay in the
+#: sparse regime the paper targets (the interesting one for mixed clocks);
+#: the per-pair edge probability is AVERAGE_DEGREE / size.
+AVERAGE_DEGREE = 3.0
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    return {
+        size: uniform_bipartite(size, size, AVERAGE_DEGREE / size, seed=size)
+        for size in SIZES
+    }
+
+
+@pytest.mark.benchmark(group="matching-scaling")
+@pytest.mark.parametrize("size", SIZES)
+def test_hopcroft_karp_scaling(benchmark, graphs, size):
+    graph = graphs[size]
+    matching = benchmark(hopcroft_karp_matching, graph)
+    assert len(matching) <= size
+
+
+@pytest.mark.benchmark(group="matching-scaling")
+@pytest.mark.parametrize("size", SIZES)
+def test_augmenting_path_scaling(benchmark, graphs, size):
+    graph = graphs[size]
+    matching = benchmark(augmenting_path_matching, graph)
+    assert len(matching) == len(hopcroft_karp_matching(graph))
+
+
+@pytest.mark.benchmark(group="offline-pipeline")
+@pytest.mark.parametrize("size", SIZES)
+def test_full_offline_pipeline_scaling(benchmark, graphs, size):
+    graph = graphs[size]
+    result = benchmark(optimal_components_for_graph, graph)
+    assert result.clock_size == len(result.matching)
+
+
+@pytest.mark.benchmark(group="matching-scaling")
+def test_record_matching_summary(benchmark, graphs, record_table):
+    def build_rows():
+        rows = []
+        for size, graph in graphs.items():
+            result = optimal_components_for_graph(graph)
+            rows.append(
+                {
+                    "nodes_per_side": size,
+                    "edges": graph.num_edges,
+                    "optimal_clock": result.clock_size,
+                    "thread_components": result.thread_component_count,
+                    "object_components": result.object_component_count,
+                    "naive": min(graph.num_threads, graph.num_objects),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    record_table("matching_scaling_summary", format_table(rows))

@@ -1,0 +1,78 @@
+"""Extra experiment E6: per-event timestamping cost and storage overhead.
+
+The motivation for a smaller vector clock is lower per-event and per-message
+overhead.  This benchmark timestamps the same structured runtime traces with
+the thread-based clock, the object-based clock and the optimal mixed clock,
+measuring (a) wall-clock cost per full-trace timestamping pass and (b) the
+storage cost (integers kept across all event timestamps), which scales
+linearly with the clock dimension the paper minimises.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.computation import (
+    lock_hierarchy_trace,
+    producer_consumer_trace,
+    work_stealing_trace,
+)
+from repro.core import timestamp_with_object_clock, timestamp_with_thread_clock
+from repro.offline import optimal_components_for_computation, timestamp_offline
+
+from _common import write_result
+
+TRACES = {
+    "producer-consumer": producer_consumer_trace(
+        num_producers=8, num_consumers=8, num_queues=3, items_per_producer=40, seed=61
+    ),
+    "work-stealing": work_stealing_trace(num_workers=16, tasks_per_worker=60, seed=61),
+    "lock-hierarchy": lock_hierarchy_trace(
+        num_threads=12, num_locks=3, num_accounts=60, transfers_per_thread=30, seed=61
+    ),
+}
+
+
+@pytest.mark.benchmark(group="timestamping-overhead")
+@pytest.mark.parametrize("trace_name", sorted(TRACES))
+@pytest.mark.parametrize("clock", ["thread", "object", "mixed-optimal"])
+def test_timestamping_cost(benchmark, trace_name, clock):
+    trace = TRACES[trace_name]
+    if clock == "thread":
+        stamped = benchmark(timestamp_with_thread_clock, trace)
+    elif clock == "object":
+        stamped = benchmark(timestamp_with_object_clock, trace)
+    else:
+        stamped = benchmark(timestamp_offline, trace)
+    assert len(stamped) == len(trace)
+
+
+@pytest.mark.benchmark(group="timestamping-overhead")
+def test_record_storage_overhead(benchmark, record_table):
+    def build_rows():
+        rows = []
+        for name, trace in TRACES.items():
+            optimal = optimal_components_for_computation(trace)
+            rows.append(
+                {
+                    "workload": name,
+                    "events": trace.num_events,
+                    "threads": trace.num_threads,
+                    "objects": trace.num_objects,
+                    "thread_clock_ints": trace.num_threads * trace.num_events,
+                    "object_clock_ints": trace.num_objects * trace.num_events,
+                    "mixed_clock_ints": optimal.clock_size * trace.num_events,
+                    "mixed_clock_size": optimal.clock_size,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    for row in rows:
+        # The whole point: the mixed clock never stores more than the better
+        # of the two classical clocks.
+        assert row["mixed_clock_ints"] <= min(
+            row["thread_clock_ints"], row["object_clock_ints"]
+        )
+    record_table("timestamping_storage_overhead", format_table(rows))

@@ -1,0 +1,32 @@
+"""Pytest fixtures for the benchmark harness.
+
+Each benchmark module regenerates one table/figure of the paper's
+evaluation (or one extra ablation).  Conventions:
+
+* the expensive sweep is executed exactly once per benchmark via
+  ``benchmark.pedantic(..., rounds=1, iterations=1)`` so that
+  ``pytest benchmarks/ --benchmark-only`` reports the wall-clock cost of
+  regenerating the figure;
+* the resulting series/tables are printed and also written to
+  ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can quote them.
+
+Shared constants (sweep ranges, trial counts) live in ``_common.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import write_result  # noqa: E402
+
+
+@pytest.fixture
+def record_table():
+    """Fixture handing benchmarks the :func:`_common.write_result` helper."""
+    return write_result

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Causal debugging: what could have influenced a suspicious event?
+
+When a multithreaded program misbehaves, the first debugging question is
+usually "which earlier operations could possibly have affected this one?".
+With vector clock timestamps that question is answered by comparing
+vectors: every event whose timestamp is strictly smaller is in the causal
+past; everything else is provably irrelevant.
+
+This example records a lock-hierarchy (bank transfer) workload, timestamps
+it with the optimal mixed clock, picks one "suspicious" event and prints
+its causal past and future, the set of concurrent events, and how much
+smaller the mixed clock is than the classical alternatives.
+
+Run with:  python examples/causal_debugging.py
+"""
+
+from __future__ import annotations
+
+from repro.computation import lock_hierarchy_trace
+from repro.offline import optimal_components_for_computation
+
+
+def main() -> None:
+    trace = lock_hierarchy_trace(
+        num_threads=9, num_locks=2, num_accounts=4, transfers_per_thread=6, seed=99
+    )
+    result = optimal_components_for_computation(trace)
+    stamped = result.protocol().timestamp_computation(trace)
+
+    print("Workload: bank transfers guarded by a small lock hierarchy")
+    print(f"  {trace.num_threads} threads, {trace.num_objects} objects,"
+          f" {trace.num_events} operations")
+    print(f"  optimal mixed clock: {result.clock_size} components"
+          f" ({result.thread_component_count} threads +"
+          f" {result.object_component_count} objects)")
+    print(f"  classical clocks: {trace.num_threads} (thread-based)"
+          f" / {trace.num_objects} (object-based)")
+
+    # Pick a "suspicious" event: the last credit performed by teller-2.
+    credits = [event for event in trace.thread_events("teller-2")
+               if event.label.startswith("credit")]
+    suspect = credits[-1]
+    suspect_stamp = stamped[suspect]
+    print(f"\nSuspicious event:\n  {suspect.describe()}\n  timestamp {suspect_stamp!r}")
+
+    past = [e for e in trace if e != suspect and stamped.happened_before(e, suspect)]
+    future = [e for e in trace if e != suspect and stamped.happened_before(suspect, e)]
+    concurrent = [e for e in trace if e != suspect and stamped.concurrent(e, suspect)]
+
+    print(f"\nCausal past ({len(past)} events could have influenced it); last five:")
+    for event in past[-5:]:
+        print(f"  {event.describe()}")
+    print(f"\nCausal future ({len(future)} events it could have influenced); first five:")
+    for event in future[:5]:
+        print(f"  {event.describe()}")
+    print(f"\nProvably unrelated (concurrent) events: {len(concurrent)}"
+          f" of {trace.num_events - 1}")
+
+    share = len(concurrent) / (trace.num_events - 1)
+    print(f"\n{share:.0%} of the trace can be ruled out of the investigation"
+          " just by comparing vector timestamps.")
+
+
+if __name__ == "__main__":
+    main()

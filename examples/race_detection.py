@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Debugging application: happens-before data race detection.
+
+The paper motivates causality tracking with debugging of parallel programs.
+This example runs two versions of a small bank-transfer program on the
+simulated concurrent runtime:
+
+* a correct version in which every transfer holds a global lock, and
+* a buggy version in which the audit log is updated outside the lock,
+
+then analyses the recorded traces with the happens-before race detector and
+reports, for the synchronisation skeleton of each trace, how many clock
+components the paper's optimal mixed clock needs compared with a
+conventional thread-indexed clock.
+
+Run with:  python examples/race_detection.py
+"""
+
+from __future__ import annotations
+
+from repro.runtime import ConcurrentSystem, acquire, detect_races, increment, release
+
+
+def build_bank(num_tellers: int, transfers: int, buggy: bool) -> ConcurrentSystem:
+    """A bank with one balance, one audit log and a global lock."""
+    system = ConcurrentSystem()
+    system.add_object("balance", 1_000)
+    system.add_object("audit-log", 0)
+    for teller in range(num_tellers):
+        steps = []
+        for _ in range(transfers):
+            steps.append(acquire("bank-lock"))
+            steps.append(increment("balance", 10))
+            if not buggy:
+                steps.append(increment("audit-log"))
+            steps.append(release("bank-lock"))
+            if buggy:
+                # BUG: the audit log is updated after releasing the lock.
+                steps.append(increment("audit-log"))
+        system.add_thread(f"teller-{teller}", steps)
+    return system
+
+
+def analyse(title: str, buggy: bool) -> None:
+    system = build_bank(num_tellers=4, transfers=10, buggy=buggy)
+    execution = system.run(seed=2019)
+    report = detect_races(execution.computation, sync_objects=execution.sync_objects)
+
+    print(f"\n=== {title} ===")
+    print("events recorded:      ", execution.num_events)
+    print("final balance:        ", execution.final_values["balance"])
+    print("final audit-log count:", execution.final_values["audit-log"])
+    print("data races found:     ", report.race_count)
+    for race in report.races[:3]:
+        print("   ", race.describe())
+    if report.race_count > 3:
+        print(f"    ... and {report.race_count - 3} more on the same object")
+
+    print("clock sizes for the synchronisation skeleton:")
+    print("    thread-indexed clock:", report.thread_clock_size, "components")
+    print("    optimal mixed clock: ", report.mixed_clock_size, "component(s)",
+          f"({sorted(map(str, report.mixed_clock.cover))})")
+
+
+def main() -> None:
+    analyse("correct program (audit log inside the critical section)", buggy=False)
+    analyse("buggy program (audit log outside the critical section)", buggy=True)
+    print(
+        "\nEvery teller synchronises through the single bank-lock, so the"
+        "\nmixed clock needs one component where a per-thread clock needs four."
+    )
+
+
+if __name__ == "__main__":
+    main()

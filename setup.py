@@ -1,0 +1,11 @@
+"""Setuptools shim for environments without the `wheel` package.
+
+All project metadata lives in pyproject.toml; this file only exists so that
+`pip install -e .` can fall back to the legacy editable-install path when
+PEP 517 editable builds are unavailable (e.g. offline machines without the
+`wheel` distribution installed).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,124 @@
+"""repro: optimal mixed vector clocks for multithreaded systems.
+
+A from-scratch reproduction of *"An Optimal Vector Clock Algorithm for
+Multithreaded Systems"* (Zheng & Garg, ICDCS 2019).  The library tracks the
+happened-before relation between operations of threads on shared objects
+using vector clocks whose components are a *mix* of threads and objects:
+
+* the offline algorithm (:mod:`repro.offline`) computes the provably
+  smallest component set for a given computation via maximum bipartite
+  matching and the König-Egerváry minimum vertex cover;
+* the online mechanisms (:mod:`repro.online`) grow a component set on the
+  fly as events are revealed (Naive / Random / Popularity / Hybrid);
+* the classical thread-based and object-based clocks (:mod:`repro.core`)
+  are available as baselines and special cases;
+* the supporting substrates - bipartite graphs and matchings
+  (:mod:`repro.graph`), the computation/poset model
+  (:mod:`repro.computation`), a simulated concurrent runtime and a race
+  detector (:mod:`repro.runtime`), the chain-clock baseline
+  (:mod:`repro.baselines`) and the experiment harness
+  (:mod:`repro.analysis`) - are all implemented here as well.
+
+Quickstart::
+
+    from repro import paper_example_trace, timestamp_offline
+
+    trace = paper_example_trace()
+    stamped = timestamp_offline(trace)
+    print(stamped.clock_size)          # 3 — smaller than min(4 threads, 4 objects)
+    e, f = trace[0], trace[3]
+    print(stamped.relation(e, f))      # "before"
+"""
+
+from repro.computation import (
+    Computation,
+    ComputationBuilder,
+    Event,
+    HappenedBefore,
+    Operation,
+    paper_example_trace,
+)
+from repro.core import (
+    ClockComponents,
+    Timestamp,
+    TimestampedComputation,
+    VectorClockProtocol,
+    timestamp_with_mixed_clock,
+    timestamp_with_object_clock,
+    timestamp_with_thread_clock,
+)
+from repro.exceptions import (
+    ClockError,
+    ComponentError,
+    ComputationError,
+    GraphError,
+    MatchingError,
+    OnlineMechanismError,
+    ReproError,
+    VertexCoverError,
+)
+from repro.graph import (
+    BipartiteGraph,
+    hopcroft_karp_matching,
+    minimum_vertex_cover,
+    nonuniform_bipartite,
+    paper_example_graph,
+    uniform_bipartite,
+)
+from repro.offline import (
+    OfflineResult,
+    optimal_clock_size,
+    optimal_components_for_computation,
+    optimal_components_for_graph,
+    timestamp_offline,
+)
+from repro.online import (
+    HybridMechanism,
+    NaiveMechanism,
+    OnlineClockProtocol,
+    PopularityMechanism,
+    RandomMechanism,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BipartiteGraph",
+    "ClockComponents",
+    "ClockError",
+    "ComponentError",
+    "Computation",
+    "ComputationBuilder",
+    "ComputationError",
+    "Event",
+    "GraphError",
+    "HappenedBefore",
+    "HybridMechanism",
+    "MatchingError",
+    "NaiveMechanism",
+    "OfflineResult",
+    "OnlineClockProtocol",
+    "OnlineMechanismError",
+    "Operation",
+    "PopularityMechanism",
+    "RandomMechanism",
+    "ReproError",
+    "Timestamp",
+    "TimestampedComputation",
+    "VectorClockProtocol",
+    "VertexCoverError",
+    "hopcroft_karp_matching",
+    "minimum_vertex_cover",
+    "nonuniform_bipartite",
+    "optimal_clock_size",
+    "optimal_components_for_computation",
+    "optimal_components_for_graph",
+    "paper_example_graph",
+    "paper_example_trace",
+    "timestamp_offline",
+    "timestamp_with_mixed_clock",
+    "timestamp_with_object_clock",
+    "timestamp_with_thread_clock",
+    "uniform_bipartite",
+    "__version__",
+]

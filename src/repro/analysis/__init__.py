@@ -1,0 +1,45 @@
+"""Experiment harness, statistics and report rendering."""
+
+from repro.analysis.experiments import (
+    EXTENDED_MECHANISMS,
+    PAPER_MECHANISMS,
+    SweepPoint,
+    SweepResult,
+    density_sweep,
+    node_sweep,
+    scenario_comparison,
+)
+from repro.analysis.metrics import (
+    SummaryStats,
+    crossover_point,
+    relative_reduction,
+    summarize,
+    summarize_by_key,
+)
+from repro.analysis.report import (
+    format_comparison_table,
+    format_series,
+    format_sweep,
+    format_table,
+    sweep_crossovers,
+)
+
+__all__ = [
+    "EXTENDED_MECHANISMS",
+    "PAPER_MECHANISMS",
+    "SummaryStats",
+    "SweepPoint",
+    "SweepResult",
+    "crossover_point",
+    "density_sweep",
+    "format_comparison_table",
+    "format_series",
+    "format_sweep",
+    "format_table",
+    "node_sweep",
+    "relative_reduction",
+    "scenario_comparison",
+    "summarize",
+    "summarize_by_key",
+    "sweep_crossovers",
+]

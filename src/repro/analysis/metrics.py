@@ -1,0 +1,100 @@
+"""Small statistics helpers used by the experiment harness and reports.
+
+The paper's figures plot the *final vector clock size* of each mechanism,
+averaged over random graphs.  We keep the statistics dependency-free
+(mean, standard deviation, confidence half-width via the normal
+approximation) so the harness runs anywhere; numpy is only used by the
+benchmarks for convenience, never required here.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Mean / spread summary of one metric over repeated trials."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+    @property
+    def stderr(self) -> float:
+        """Standard error of the mean (0 for a single trial)."""
+        if self.count <= 1:
+            return 0.0
+        return self.std / math.sqrt(self.count)
+
+    def confidence_halfwidth(self, z: float = 1.96) -> float:
+        """Half-width of the ~95% confidence interval (normal approximation)."""
+        return z * self.stderr
+
+    def __str__(self) -> str:
+        return f"{self.mean:.2f} ± {self.confidence_halfwidth():.2f} (n={self.count})"
+
+
+def summarize(values: Iterable[float]) -> SummaryStats:
+    """Compute :class:`SummaryStats` for a sequence of trial values."""
+    data: List[float] = [float(v) for v in values]
+    if not data:
+        raise ValueError("cannot summarise an empty sequence")
+    count = len(data)
+    mean = sum(data) / count
+    if count > 1:
+        variance = sum((v - mean) ** 2 for v in data) / (count - 1)
+    else:
+        variance = 0.0
+    return SummaryStats(
+        count=count,
+        mean=mean,
+        std=math.sqrt(variance),
+        minimum=min(data),
+        maximum=max(data),
+    )
+
+
+def summarize_by_key(trials: Sequence[Mapping[str, float]]) -> Dict[str, SummaryStats]:
+    """Summarise a list of per-trial metric dicts key by key.
+
+    Keys missing from some trials are summarised over the trials that do
+    contain them.
+    """
+    collected: Dict[str, List[float]] = {}
+    for trial in trials:
+        for key, value in trial.items():
+            collected.setdefault(key, []).append(float(value))
+    return {key: summarize(values) for key, values in collected.items()}
+
+
+def relative_reduction(baseline: float, improved: float) -> float:
+    """Fractional reduction of ``improved`` relative to ``baseline``.
+
+    ``0.3`` means "30% smaller than the baseline".  Returns ``0.0`` when the
+    baseline is zero (no meaningful reduction can be expressed).
+    """
+    if baseline == 0:
+        return 0.0
+    return (baseline - improved) / baseline
+
+
+def crossover_point(
+    xs: Sequence[float], series_a: Sequence[float], series_b: Sequence[float]
+) -> float:
+    """The first x at which series ``a`` stops being below series ``b``.
+
+    Used to locate the density / node-count thresholds the paper discusses
+    (where Random/Popularity stop beating Naive).  Returns ``math.inf`` if
+    ``a`` stays below ``b`` over the whole range.
+    """
+    if not (len(xs) == len(series_a) == len(series_b)):
+        raise ValueError("all three sequences must have the same length")
+    for x, a, b in zip(xs, series_a, series_b):
+        if a >= b:
+            return x
+    return math.inf

@@ -1,0 +1,5 @@
+"""Baseline causality-tracking mechanisms used for comparison."""
+
+from repro.baselines.chain_clock import ChainClock, ChainClockResult, chain_clock_size
+
+__all__ = ["ChainClock", "ChainClockResult", "chain_clock_size"]

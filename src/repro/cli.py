@@ -1,0 +1,193 @@
+"""Command-line interface.
+
+The package installs no console script (it is primarily a library), but the
+module runner exposes the common workflows so that traces can be analysed
+and the paper's sweeps regenerated without writing any Python:
+
+```
+python -m repro demo                         # the paper's running example
+python -m repro generate --workload producer-consumer --out trace.json
+python -m repro analyze trace.json           # optimal mixed clock for a trace
+python -m repro sweep density --scenario nonuniform --trials 3
+python -m repro sweep nodes --density 0.05
+```
+
+Every command prints plain text to stdout; ``analyze`` and ``generate``
+read/write the JSON trace format of :mod:`repro.computation.serialization`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis import density_sweep, format_sweep, node_sweep, sweep_crossovers
+from repro.computation import (
+    Computation,
+    HappenedBefore,
+    lock_hierarchy_trace,
+    paper_example_trace,
+    pipeline_trace,
+    producer_consumer_trace,
+    random_trace,
+    work_stealing_trace,
+)
+from repro.computation.serialization import dump_computation, load_computation
+from repro.exceptions import ReproError
+from repro.offline import optimal_components_for_computation
+
+WORKLOADS = {
+    "paper-example": lambda seed: paper_example_trace(),
+    "producer-consumer": lambda seed: producer_consumer_trace(seed=seed),
+    "work-stealing": lambda seed: work_stealing_trace(seed=seed),
+    "lock-hierarchy": lambda seed: lock_hierarchy_trace(seed=seed),
+    "pipeline": lambda seed: pipeline_trace(seed=seed),
+    "random": lambda seed: random_trace(10, 20, 400, locality=0.5, seed=seed),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Optimal mixed vector clocks for multithreaded systems "
+        "(reproduction of Zheng & Garg, ICDCS 2019).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("demo", help="walk through the paper's running example")
+
+    generate = subparsers.add_parser("generate", help="generate a workload trace as JSON")
+    generate.add_argument("--workload", choices=sorted(WORKLOADS), default="producer-consumer")
+    generate.add_argument("--seed", type=int, default=2019)
+    generate.add_argument("--out", required=True, help="output JSON path")
+
+    analyze = subparsers.add_parser("analyze", help="compute the optimal mixed clock for a trace")
+    analyze.add_argument("trace", help="JSON trace produced by 'generate' (or your own tooling)")
+    analyze.add_argument(
+        "--check",
+        action="store_true",
+        help="verify the produced timestamps against the happened-before oracle "
+        "(quadratic in the number of events; intended for small traces)",
+    )
+
+    sweep = subparsers.add_parser("sweep", help="regenerate one of the paper's sweeps")
+    sweep.add_argument("axis", choices=["density", "nodes"])
+    sweep.add_argument("--scenario", choices=["uniform", "nonuniform"], default="uniform")
+    sweep.add_argument("--trials", type=int, default=3)
+    sweep.add_argument("--nodes", type=int, default=50, help="nodes per side (density sweep)")
+    sweep.add_argument("--density", type=float, default=0.05, help="graph density (nodes sweep)")
+    sweep.add_argument("--seed", type=int, default=2019)
+    sweep.add_argument(
+        "--offline", action="store_true", help="include the offline optimum series (Figs. 6-7)"
+    )
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# Commands
+# ---------------------------------------------------------------------------
+def _cmd_demo(_: argparse.Namespace) -> int:
+    trace = paper_example_trace()
+    result = optimal_components_for_computation(trace)
+    stamped = result.protocol().timestamp_computation(trace)
+    print("Paper running example (Fig. 1):")
+    for event in trace:
+        print(f"  {event.describe()}")
+    print("\nOptimal mixed clock components:", sorted(map(str, result.cover)))
+    print(f"Clock size {result.clock_size} vs {trace.num_threads} threads "
+          f"/ {trace.num_objects} objects")
+    print("\nTimestamps (Fig. 3):")
+    print(stamped.format_table())
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    trace = WORKLOADS[args.workload](args.seed)
+    dump_computation(trace, args.out)
+    print(f"wrote {trace.num_events} events "
+          f"({trace.num_threads} threads, {trace.num_objects} objects) to {args.out}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    trace = load_computation(args.trace)
+    result = optimal_components_for_computation(trace)
+    summary = result.summary()
+    print(f"trace: {args.trace}")
+    print(f"  events:            {trace.num_events}")
+    print(f"  threads:           {summary['threads']}")
+    print(f"  objects:           {summary['objects']}")
+    print(f"  graph density:     {summary['density']:.4f}")
+    print(f"  optimal clock:     {summary['clock_size']} components "
+          f"({summary['thread_components']} threads + {summary['object_components']} objects)")
+    print(f"  thread-based size: {summary['threads']}")
+    print(f"  object-based size: {summary['objects']}")
+    print(f"  saving vs min(n,m): {summary['naive_size'] - summary['clock_size']}")
+    print("  components:", ", ".join(sorted(map(str, result.cover))) or "(none)")
+    if args.check:
+        stamped = result.protocol().timestamp_computation(trace)
+        oracle = HappenedBefore(trace)
+        mismatches = sum(
+            1
+            for a in trace
+            for b in trace
+            if a != b and stamped.happened_before(a, b) != oracle.happened_before(a, b)
+        )
+        print(f"  oracle check:      {mismatches} mismatching pairs "
+              f"out of {trace.num_events * (trace.num_events - 1)}")
+        if mismatches:
+            return 1
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.axis == "density":
+        result = density_sweep(
+            [0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5],
+            num_threads=args.nodes,
+            num_objects=args.nodes,
+            scenario=args.scenario,
+            trials=args.trials,
+            base_seed=args.seed,
+            include_offline=args.offline,
+        )
+    else:
+        result = node_sweep(
+            [10, 30, 50, 70, 90, 110],
+            density=args.density,
+            scenario=args.scenario,
+            trials=args.trials,
+            base_seed=args.seed,
+            include_offline=args.offline,
+        )
+    print(format_sweep(result))
+    print("\ncrossover vs flat Naive (=n) line:",
+          sweep_crossovers(result, baseline="thread_clock"))
+    return 0
+
+
+COMMANDS = {
+    "demo": _cmd_demo,
+    "generate": _cmd_generate,
+    "analyze": _cmd_analyze,
+    "sweep": _cmd_sweep,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

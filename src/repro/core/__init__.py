@@ -1,0 +1,63 @@
+"""Core vector clock library: components, timestamps, protocols.
+
+The generic machinery lives in :mod:`repro.core.timestamping`; the three
+concrete clock families of the paper are exposed through small modules:
+
+* :mod:`repro.core.thread_clock` - classical thread-based clock (size ``n``);
+* :mod:`repro.core.object_clock` - classical object-based clock (size ``m``);
+* :mod:`repro.core.mixed_clock` - the paper's mixed clock (size of a vertex
+  cover, optimally the minimum vertex cover).
+"""
+
+from repro.core.clock import Timestamp, ordering
+from repro.core.components import ClockComponents
+from repro.core.encoding import (
+    DeltaDecoder,
+    DeltaEncoder,
+    apply_delta,
+    chain_compression_ratio,
+    encode_delta,
+)
+from repro.core.mixed_clock import (
+    mixed_clock_components,
+    mixed_clock_protocol,
+    timestamp_with_mixed_clock,
+)
+from repro.core.object_clock import (
+    object_clock_components,
+    object_clock_protocol,
+    timestamp_with_object_clock,
+)
+from repro.core.thread_clock import (
+    thread_clock_components,
+    thread_clock_protocol,
+    timestamp_with_thread_clock,
+)
+from repro.core.timestamping import (
+    TimestampedComputation,
+    VectorClockProtocol,
+    timestamp_with_components,
+)
+
+__all__ = [
+    "ClockComponents",
+    "DeltaDecoder",
+    "DeltaEncoder",
+    "apply_delta",
+    "chain_compression_ratio",
+    "encode_delta",
+    "Timestamp",
+    "TimestampedComputation",
+    "VectorClockProtocol",
+    "mixed_clock_components",
+    "mixed_clock_protocol",
+    "object_clock_components",
+    "object_clock_protocol",
+    "ordering",
+    "thread_clock_components",
+    "thread_clock_protocol",
+    "timestamp_with_components",
+    "timestamp_with_mixed_clock",
+    "timestamp_with_object_clock",
+    "timestamp_with_thread_clock",
+]

@@ -1,0 +1,188 @@
+"""Vector clock timestamps.
+
+A :class:`Timestamp` is an immutable vector of non-negative integers, one
+slot per component of a :class:`~repro.core.components.ClockComponents`.
+Comparisons implement the usual (strict) vector clock order:
+
+* ``a <= b``  iff  every slot of ``a`` is ≤ the corresponding slot of ``b``;
+* ``a < b``   iff  ``a <= b`` and ``a != b``;
+* ``a ∥ b`` (concurrent) iff neither ``a < b`` nor ``b < a`` and ``a != b``.
+
+Theorem 2 of the paper states that for timestamps produced by a valid
+(mixed) vector clock protocol, ``s → t ⇔ s.v < t.v``; the test suite checks
+exactly this equivalence against the happened-before oracle.
+
+Timestamps are keyed by *component identity*, not slot position, so two
+timestamps are only comparable when they were produced over the same
+component set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
+
+from repro.core.components import ClockComponents
+from repro.exceptions import ClockError
+from repro.graph.bipartite import Vertex
+
+
+class Timestamp:
+    """An immutable vector clock value over a fixed component set."""
+
+    __slots__ = ("_components", "_values")
+
+    def __init__(
+        self,
+        components: ClockComponents,
+        values: Optional[Iterable[int]] = None,
+    ) -> None:
+        self._components = components
+        if values is None:
+            self._values: Tuple[int, ...] = (0,) * components.size
+        else:
+            vals = tuple(int(v) for v in values)
+            if len(vals) != components.size:
+                raise ClockError(
+                    f"expected {components.size} values, got {len(vals)}"
+                )
+            if any(v < 0 for v in vals):
+                raise ClockError("timestamp values must be non-negative")
+            self._values = vals
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def zero(cls, components: ClockComponents) -> "Timestamp":
+        """The all-zero timestamp (the initial clock of every thread/object)."""
+        return cls(components)
+
+    @classmethod
+    def from_mapping(
+        cls, components: ClockComponents, mapping: Mapping[Vertex, int]
+    ) -> "Timestamp":
+        """Build a timestamp from a ``component -> value`` mapping.
+
+        Missing components default to zero; unknown keys raise
+        :class:`ClockError`.
+        """
+        unknown = [key for key in mapping if key not in components]
+        if unknown:
+            raise ClockError(f"unknown components in mapping: {unknown!r}")
+        values = [mapping.get(c, 0) for c in components.ordered]
+        return cls(components, values)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def components(self) -> ClockComponents:
+        return self._components
+
+    @property
+    def values(self) -> Tuple[int, ...]:
+        """Slot values in component order."""
+        return self._values
+
+    def value_of(self, component: Vertex) -> int:
+        """The value of one component's slot."""
+        return self._values[self._components.index_of(component)]
+
+    def as_dict(self) -> Dict[Vertex, int]:
+        """The timestamp as a ``component -> value`` dictionary."""
+        return dict(zip(self._components.ordered, self._values))
+
+    def sum(self) -> int:
+        """Sum of all slots (a rough measure of how much causality was seen)."""
+        return sum(self._values)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+    def merged(self, other: "Timestamp") -> "Timestamp":
+        """Component-wise maximum (the ``max(p.v, q.v)`` of the update rules)."""
+        self._check_compatible(other)
+        return Timestamp(
+            self._components,
+            tuple(max(a, b) for a, b in zip(self._values, other._values)),
+        )
+
+    def incremented(self, component: Vertex, amount: int = 1) -> "Timestamp":
+        """A copy with ``component``'s slot increased by ``amount``."""
+        if amount < 1:
+            raise ClockError("increment amount must be positive")
+        index = self._components.index_of(component)
+        values = list(self._values)
+        values[index] += amount
+        return Timestamp(self._components, values)
+
+    # ------------------------------------------------------------------
+    # Order
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Timestamp):
+            return NotImplemented
+        return self._components == other._components and self._values == other._values
+
+    def __hash__(self) -> int:
+        return hash((self._components, self._values))
+
+    def __le__(self, other: "Timestamp") -> bool:
+        self._check_compatible(other)
+        return all(a <= b for a, b in zip(self._values, other._values))
+
+    def __lt__(self, other: "Timestamp") -> bool:
+        return self <= other and self._values != other._values
+
+    def __ge__(self, other: "Timestamp") -> bool:
+        return other <= self
+
+    def __gt__(self, other: "Timestamp") -> bool:
+        return other < self
+
+    def concurrent_with(self, other: "Timestamp") -> bool:
+        """``True`` iff neither timestamp dominates the other (and they differ)."""
+        self._check_compatible(other)
+        return not (self <= other) and not (other <= self)
+
+    def dominates(self, other: "Timestamp") -> bool:
+        """Alias for ``other < self`` that reads well in application code."""
+        return other < self
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+    def _check_compatible(self, other: "Timestamp") -> None:
+        if self._components != other._components:
+            raise ClockError(
+                "cannot compare timestamps over different component sets"
+            )
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{component}:{value}"
+            for component, value in zip(self._components.ordered, self._values)
+        )
+        return f"<{inner}>"
+
+
+def ordering(a: Timestamp, b: Timestamp) -> str:
+    """Classify the relation between two timestamps.
+
+    Returns one of ``"before"`` (``a < b``), ``"after"`` (``b < a``),
+    ``"equal"`` or ``"concurrent"``.  Used by examples and by the
+    race-detection application when explaining its verdicts.
+    """
+    if a == b:
+        return "equal"
+    if a < b:
+        return "before"
+    if b < a:
+        return "after"
+    return "concurrent"

@@ -1,0 +1,225 @@
+"""The vector clock protocol: timestamping events of a computation.
+
+:class:`VectorClockProtocol` implements the update rules of Section II and
+Section III-C of the paper for an arbitrary component set:
+
+* every thread ``p`` and every object ``q`` keeps a current clock vector
+  (initially all zeros);
+* when thread ``p`` performs an operation ``e`` on object ``q``::
+
+      e.v = max(p.v, q.v)
+      if q is a component:  e.v[q] += 1
+      if p is a component:  e.v[p] += 1
+      p.v = q.v = e.v
+
+The thread-based and object-based clocks of Section II are the special
+cases where the component set is all threads or all objects respectively;
+the mixed clock uses a vertex cover of the thread-object bipartite graph.
+
+The protocol object is *incremental*: the runtime and the online simulator
+feed it one operation at a time via :meth:`VectorClockProtocol.observe`,
+and the offline pipeline feeds it a whole computation via
+:meth:`VectorClockProtocol.timestamp_computation`.  The result of the
+latter is a :class:`TimestampedComputation`, which bundles the computation
+with the per-event timestamps and answers causality queries purely from the
+timestamps (that is what Theorem 2 promises is possible).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping, Optional, Tuple
+
+from repro.computation.event import Event, ObjectId, ThreadId
+from repro.computation.trace import Computation
+from repro.core.clock import Timestamp, ordering
+from repro.core.components import ClockComponents
+from repro.exceptions import ClockError, ComponentError
+from repro.graph.bipartite import Vertex
+
+
+class VectorClockProtocol:
+    """Stateful executor of the (mixed) vector clock update rules.
+
+    Parameters
+    ----------
+    components:
+        The clock's component set.  Any event whose thread *and* object are
+        both outside this set raises :class:`ComponentError` when observed
+        (with ``strict=True``, the default), because such an event could
+        never be ordered by the resulting timestamps.
+    strict:
+        When ``False``, uncovered events are still timestamped (with a bare
+        merge and no increment).  This is only useful for demonstrating in
+        tests and examples *why* coverage is required; production callers
+        should leave it on.
+    """
+
+    def __init__(self, components: ClockComponents, strict: bool = True) -> None:
+        self._components = components
+        self._strict = strict
+        self._zero = Timestamp.zero(components)
+        self._thread_clocks: Dict[ThreadId, Timestamp] = {}
+        self._object_clocks: Dict[ObjectId, Timestamp] = {}
+        self._events_observed = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def components(self) -> ClockComponents:
+        return self._components
+
+    @property
+    def size(self) -> int:
+        """The clock dimension (number of components)."""
+        return self._components.size
+
+    @property
+    def events_observed(self) -> int:
+        return self._events_observed
+
+    def thread_clock(self, thread: ThreadId) -> Timestamp:
+        """Current clock of ``thread`` (zero if it has not acted yet)."""
+        return self._thread_clocks.get(thread, self._zero)
+
+    def object_clock(self, obj: ObjectId) -> Timestamp:
+        """Current clock of ``obj`` (zero if it has not been accessed yet)."""
+        return self._object_clocks.get(obj, self._zero)
+
+    # ------------------------------------------------------------------
+    # The update rule
+    # ------------------------------------------------------------------
+    def observe(self, thread: ThreadId, obj: ObjectId) -> Timestamp:
+        """Apply the update rule for one operation and return its timestamp."""
+        covered = self._components.covers_pair(thread, obj)
+        if not covered and self._strict:
+            raise ComponentError(
+                f"operation ({thread!r}, {obj!r}) is not covered by the clock components"
+            )
+        merged = self.thread_clock(thread).merged(self.object_clock(obj))
+        stamped = merged
+        if obj in self._components.object_components:
+            stamped = stamped.incremented(obj)
+        if thread in self._components.thread_components:
+            stamped = stamped.incremented(thread)
+        self._thread_clocks[thread] = stamped
+        self._object_clocks[obj] = stamped
+        self._events_observed += 1
+        return stamped
+
+    def observe_event(self, event: Event) -> Timestamp:
+        """Apply the update rule for an already-minted :class:`Event`."""
+        return self.observe(event.thread, event.obj)
+
+    # ------------------------------------------------------------------
+    # Whole computations
+    # ------------------------------------------------------------------
+    def timestamp_computation(self, computation: Computation) -> "TimestampedComputation":
+        """Timestamp every event of ``computation`` in interleaving order.
+
+        The protocol instance must be fresh (no events observed yet);
+        reusing one across computations would leak causality between them.
+        """
+        if self._events_observed:
+            raise ClockError(
+                "protocol has already observed events; use a fresh instance"
+            )
+        timestamps: Dict[Event, Timestamp] = {}
+        for event in computation:
+            timestamps[event] = self.observe_event(event)
+        return TimestampedComputation(computation, self._components, timestamps)
+
+    def reset(self) -> None:
+        """Forget all state so the protocol can be reused from scratch."""
+        self._thread_clocks.clear()
+        self._object_clocks.clear()
+        self._events_observed = 0
+
+
+class TimestampedComputation:
+    """A computation together with one timestamp per event.
+
+    Provides the timestamp-only causality queries that applications
+    (debuggers, race detectors, recovery protocols) actually use: given two
+    events, compare their vectors - no access to the original partial order
+    is needed.
+    """
+
+    def __init__(
+        self,
+        computation: Computation,
+        components: ClockComponents,
+        timestamps: Mapping[Event, Timestamp],
+    ) -> None:
+        missing = [e for e in computation if e not in timestamps]
+        if missing:
+            raise ClockError(f"{len(missing)} events have no timestamp")
+        self._computation = computation
+        self._components = components
+        self._timestamps = dict(timestamps)
+
+    # -- accessors --------------------------------------------------------
+    @property
+    def computation(self) -> Computation:
+        return self._computation
+
+    @property
+    def components(self) -> ClockComponents:
+        return self._components
+
+    @property
+    def clock_size(self) -> int:
+        return self._components.size
+
+    def timestamp(self, event: Event) -> Timestamp:
+        try:
+            return self._timestamps[event]
+        except KeyError:
+            raise ClockError(f"event {event} was not timestamped") from None
+
+    def __getitem__(self, event: Event) -> Timestamp:
+        return self.timestamp(event)
+
+    def __iter__(self) -> Iterator[Tuple[Event, Timestamp]]:
+        for event in self._computation:
+            yield event, self._timestamps[event]
+
+    def __len__(self) -> int:
+        return len(self._computation)
+
+    # -- causality from timestamps ----------------------------------------
+    def happened_before(self, earlier: Event, later: Event) -> bool:
+        """``True`` iff the timestamps say ``earlier → later``."""
+        return self.timestamp(earlier) < self.timestamp(later)
+
+    def concurrent(self, a: Event, b: Event) -> bool:
+        """``True`` iff the timestamps say ``a ∥ b``."""
+        if a == b:
+            return False
+        return self.timestamp(a).concurrent_with(self.timestamp(b))
+
+    def relation(self, a: Event, b: Event) -> str:
+        """One of ``"before"``, ``"after"``, ``"concurrent"``, ``"equal"``."""
+        return ordering(self.timestamp(a), self.timestamp(b))
+
+    # -- reporting ----------------------------------------------------------
+    def storage_cost(self) -> int:
+        """Total number of integers stored across all event timestamps."""
+        return self.clock_size * len(self._computation)
+
+    def format_table(self, limit: Optional[int] = None) -> str:
+        """A small human-readable table of events and their timestamps."""
+        lines = [f"clock components ({self.clock_size}): {list(self._components.ordered)}"]
+        for position, (event, stamp) in enumerate(self):
+            if limit is not None and position >= limit:
+                lines.append(f"... ({len(self) - limit} more events)")
+                break
+            lines.append(f"  {event.describe():60s} {stamp!r}")
+        return "\n".join(lines)
+
+
+def timestamp_with_components(
+    computation: Computation, components: ClockComponents
+) -> TimestampedComputation:
+    """Convenience one-shot helper: timestamp ``computation`` with ``components``."""
+    return VectorClockProtocol(components).timestamp_computation(computation)

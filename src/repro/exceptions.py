@@ -1,0 +1,72 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch every failure mode of the library with a single ``except`` clause
+while still being able to distinguish the individual categories.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the :mod:`repro` package."""
+
+
+class GraphError(ReproError):
+    """Raised for structural problems in bipartite graphs.
+
+    Examples include adding an edge whose endpoints live on the wrong side
+    of the partition, or querying a vertex that was never added.
+    """
+
+
+class UnknownVertexError(GraphError, KeyError):
+    """Raised when an operation references a vertex not present in a graph."""
+
+    def __init__(self, vertex: object) -> None:
+        super().__init__(vertex)
+        self.vertex = vertex
+
+    def __str__(self) -> str:  # pragma: no cover - trivial formatting
+        return f"unknown vertex: {self.vertex!r}"
+
+
+class DuplicateVertexError(GraphError):
+    """Raised when a vertex is added to both sides of a bipartite graph."""
+
+
+class MatchingError(ReproError):
+    """Raised when a matching is structurally invalid for a given graph."""
+
+
+class VertexCoverError(ReproError):
+    """Raised when a vertex cover is structurally invalid for a given graph."""
+
+
+class ComputationError(ReproError):
+    """Raised for malformed computations (traces of events)."""
+
+
+class ClockError(ReproError):
+    """Raised for invalid vector clock operations.
+
+    The most common cause is timestamping an event whose thread *and*
+    object are both missing from the clock's component set, which would
+    make the resulting timestamps unable to order that event.
+    """
+
+
+class ComponentError(ClockError):
+    """Raised when a component set does not cover a computation."""
+
+
+class OnlineMechanismError(ReproError):
+    """Raised when an online mechanism is misused (e.g. reused across runs)."""
+
+
+class RuntimeSystemError(ReproError):
+    """Raised by the simulated concurrent runtime for invalid programs."""
+
+
+class ExperimentError(ReproError):
+    """Raised by the experiment harness for inconsistent configurations."""

@@ -1,0 +1,100 @@
+"""Saving and loading thread-object bipartite graphs.
+
+Two interchange formats are supported:
+
+* **JSON** - explicit vertex lists plus an edge list, mirroring the trace
+  format of :mod:`repro.computation.serialization`; preserves isolated
+  vertices.
+* **edge-list text** - one ``thread<TAB>object`` pair per line, with ``#``
+  comments; convenient for quick experiments and for importing access
+  patterns exported by other tools.  Isolated vertices cannot be expressed
+  in this format.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.exceptions import GraphError
+from repro.graph.bipartite import BipartiteGraph
+
+FORMAT_NAME = "repro-bipartite-graph"
+FORMAT_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+def graph_to_dict(graph: BipartiteGraph) -> Dict[str, Any]:
+    """JSON-ready dictionary representation (vertices sorted for stability)."""
+    return {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "threads": sorted(graph.threads, key=str),
+        "objects": sorted(graph.objects, key=str),
+        "edges": sorted(([t, o] for t, o in graph.edges()), key=str),
+    }
+
+
+def graph_from_dict(data: Dict[str, Any]) -> BipartiteGraph:
+    """Rebuild a graph from :func:`graph_to_dict` output (with validation)."""
+    if not isinstance(data, dict):
+        raise GraphError("graph document must be a JSON object")
+    if data.get("format") != FORMAT_NAME:
+        raise GraphError(
+            f"unexpected graph format: {data.get('format')!r} (expected {FORMAT_NAME!r})"
+        )
+    if data.get("version") != FORMAT_VERSION:
+        raise GraphError(f"unsupported graph version: {data.get('version')!r}")
+    threads = data.get("threads", [])
+    objects = data.get("objects", [])
+    edges = data.get("edges", [])
+    if not isinstance(threads, list) or not isinstance(objects, list) or not isinstance(edges, list):
+        raise GraphError("graph document fields 'threads'/'objects'/'edges' must be lists")
+    graph = BipartiteGraph(threads=threads, objects=objects)
+    for record in edges:
+        if not isinstance(record, (list, tuple)) or len(record) != 2:
+            raise GraphError(f"malformed edge record: {record!r}")
+        thread, obj = record
+        if not graph.has_thread(thread) or not graph.has_object(obj):
+            raise GraphError(f"edge {record!r} references an undeclared vertex")
+        graph.add_edge(thread, obj)
+    return graph
+
+
+def dump_graph(graph: BipartiteGraph, path: PathLike) -> None:
+    """Write ``graph`` to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(graph_to_dict(graph), indent=2) + "\n")
+
+
+def load_graph(path: PathLike) -> BipartiteGraph:
+    """Read a graph previously written by :func:`dump_graph`."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as error:
+        raise GraphError(f"graph file is not valid JSON: {error}") from error
+    return graph_from_dict(data)
+
+
+def dump_edge_list(graph: BipartiteGraph, path: PathLike) -> None:
+    """Write ``graph`` as a tab-separated edge list (isolated vertices dropped)."""
+    lines = ["# thread\tobject"]
+    lines.extend(f"{thread}\t{obj}" for thread, obj in sorted(graph.edges(), key=str))
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def load_edge_list(path: PathLike) -> BipartiteGraph:
+    """Read a tab- or whitespace-separated edge list into a graph."""
+    graph = BipartiteGraph()
+    for line_number, raw_line in enumerate(Path(path).read_text().splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split("\t") if "\t" in line else line.split()
+        if len(parts) != 2:
+            raise GraphError(
+                f"line {line_number} of {path} is not a 'thread object' pair: {raw_line!r}"
+            )
+        graph.add_edge(parts[0], parts[1])
+    return graph

@@ -1,0 +1,43 @@
+"""Online mechanisms (Section IV) and the online simulation driver."""
+
+from repro.online.base import OBJECT, THREAD, Decision, OnlineMechanism
+from repro.online.hybrid import HybridMechanism
+from repro.online.naive import NaiveMechanism
+from repro.online.popularity import PopularityMechanism
+from repro.online.protocol import OnlineClockProtocol, SparseTimestamp
+from repro.online.random_choice import RandomMechanism
+from repro.online.sensitivity import (
+    SensitivityResult,
+    compare_order_sensitivity,
+    order_sensitivity,
+)
+from repro.online.simulator import (
+    OnlineRunResult,
+    compare_mechanisms,
+    reveal_order,
+    run_mechanism,
+    run_mechanism_on_computation,
+    run_mechanism_on_graph,
+)
+
+__all__ = [
+    "Decision",
+    "HybridMechanism",
+    "NaiveMechanism",
+    "OBJECT",
+    "OnlineClockProtocol",
+    "OnlineMechanism",
+    "OnlineRunResult",
+    "PopularityMechanism",
+    "RandomMechanism",
+    "SensitivityResult",
+    "SparseTimestamp",
+    "THREAD",
+    "compare_mechanisms",
+    "compare_order_sensitivity",
+    "order_sensitivity",
+    "reveal_order",
+    "run_mechanism",
+    "run_mechanism_on_computation",
+    "run_mechanism_on_graph",
+]

@@ -1,0 +1,186 @@
+"""Base machinery for online mixed-vector-clock mechanisms (Section IV).
+
+In the online setting the computation is revealed one event at a time and
+the existing clock components may never be removed or replaced - only new
+components may be appended.  When an event ``(t, o)`` arrives whose thread
+and object are both outside the current component set, the mechanism *must*
+add one of the two endpoints (otherwise that event could not be ordered);
+which endpoint it picks is the whole difference between the mechanisms the
+paper compares:
+
+* :class:`~repro.online.naive.NaiveMechanism` - always the thread (or
+  always the object);
+* :class:`~repro.online.random_choice.RandomMechanism` - a fair coin;
+* :class:`~repro.online.popularity.PopularityMechanism` - whichever
+  endpoint is more popular (``deg / |E|``) in the bipartite graph revealed
+  so far;
+* :class:`~repro.online.hybrid.HybridMechanism` - Popularity until density
+  / size thresholds are crossed, then Naive (the practical recipe the paper
+  suggests at the end of Section V).
+
+:class:`OnlineMechanism` implements everything except the choice itself:
+it maintains the revealed bipartite graph, the growing component set, and
+the decision log, and defers to :meth:`OnlineMechanism._choose` for the
+single policy decision.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+from repro.core.components import ClockComponents
+from repro.exceptions import OnlineMechanismError
+from repro.graph.bipartite import BipartiteGraph, Vertex
+
+#: The two possible choices a mechanism can make for an uncovered event.
+THREAD = "thread"
+OBJECT = "object"
+
+
+@dataclass(frozen=True)
+class Decision:
+    """A log record of one component-addition decision.
+
+    ``event_index`` is the position of the triggering event in the revealed
+    stream, ``choice`` is ``"thread"`` or ``"object"`` and ``component`` is
+    the vertex that was added.
+    """
+
+    event_index: int
+    thread: Vertex
+    obj: Vertex
+    choice: str
+    component: Vertex
+
+
+class OnlineMechanism(abc.ABC):
+    """Common state machine for all online mechanisms.
+
+    Subclasses implement only :meth:`_choose`, which is called exactly when
+    a revealed event is not yet covered and must return ``THREAD`` or
+    ``OBJECT``.
+    """
+
+    #: Human-readable mechanism name, overridden by subclasses.
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self._graph = BipartiteGraph()
+        self._thread_components: Set[Vertex] = set()
+        self._object_components: Set[Vertex] = set()
+        self._component_order: List[Tuple[str, Vertex]] = []
+        self._decisions: List[Decision] = []
+        self._events_seen = 0
+
+    # ------------------------------------------------------------------
+    # Policy hook
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _choose(self, thread: Vertex, obj: Vertex) -> str:
+        """Pick ``THREAD`` or ``OBJECT`` for an uncovered event ``(thread, obj)``.
+
+        Called after the event's edge has been added to the revealed graph,
+        so popularity-style policies see the up-to-date degrees.
+        """
+
+    # ------------------------------------------------------------------
+    # Event stream
+    # ------------------------------------------------------------------
+    def observe(self, thread: Vertex, obj: Vertex) -> Optional[Vertex]:
+        """Reveal one event and return the component added (or ``None``).
+
+        The revealed thread-object graph is updated first; if the event is
+        already covered by an existing component the component set is left
+        untouched, exactly as prescribed in Section IV.
+        """
+        self._graph.add_edge(thread, obj)
+        event_index = self._events_seen
+        self._events_seen += 1
+
+        if thread in self._thread_components or obj in self._object_components:
+            return None
+
+        choice = self._choose(thread, obj)
+        if choice == THREAD:
+            component = thread
+            self._thread_components.add(thread)
+        elif choice == OBJECT:
+            component = obj
+            self._object_components.add(obj)
+        else:
+            raise OnlineMechanismError(
+                f"{type(self).__name__}._choose returned {choice!r}, "
+                f"expected {THREAD!r} or {OBJECT!r}"
+            )
+        self._component_order.append((choice, component))
+        self._decisions.append(
+            Decision(
+                event_index=event_index,
+                thread=thread,
+                obj=obj,
+                choice=choice,
+                component=component,
+            )
+        )
+        return component
+
+    def observe_all(self, pairs) -> "OnlineMechanism":
+        """Reveal a whole sequence of ``(thread, object)`` pairs; returns ``self``."""
+        for thread, obj in pairs:
+            self.observe(thread, obj)
+        return self
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    @property
+    def revealed_graph(self) -> BipartiteGraph:
+        """The thread-object bipartite graph revealed so far."""
+        return self._graph
+
+    @property
+    def clock_size(self) -> int:
+        """Current number of components (the metric the paper plots)."""
+        return len(self._component_order)
+
+    @property
+    def events_seen(self) -> int:
+        return self._events_seen
+
+    @property
+    def thread_components(self) -> frozenset:
+        return frozenset(self._thread_components)
+
+    @property
+    def object_components(self) -> frozenset:
+        return frozenset(self._object_components)
+
+    @property
+    def decisions(self) -> Tuple[Decision, ...]:
+        """The full decision log, in the order components were added."""
+        return tuple(self._decisions)
+
+    def components(self) -> ClockComponents:
+        """The current component set as an immutable :class:`ClockComponents`."""
+        return ClockComponents(
+            thread_components=[c for kind, c in self._component_order if kind == THREAD],
+            object_components=[c for kind, c in self._component_order if kind == OBJECT],
+        )
+
+    def covers(self, thread: Vertex, obj: Vertex) -> bool:
+        """``True`` iff an event of ``thread`` on ``obj`` is already covered."""
+        return thread in self._thread_components or obj in self._object_components
+
+    def summary(self) -> dict:
+        """Flat dict for the experiment harness."""
+        return {
+            "mechanism": self.name,
+            "clock_size": self.clock_size,
+            "thread_components": len(self._thread_components),
+            "object_components": len(self._object_components),
+            "events_seen": self._events_seen,
+            "revealed_edges": self._graph.num_edges,
+            "revealed_density": self._graph.density(),
+        }

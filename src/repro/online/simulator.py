@@ -1,0 +1,130 @@
+"""Online simulation driver: reveal a computation or graph edge by edge.
+
+The evaluation in Section V feeds random bipartite graphs to the online
+mechanisms "as we reveal the edge of the graph one by one".  This module
+provides that driver:
+
+* :func:`reveal_order` turns a bipartite graph into a random edge-reveal
+  order (each edge is one event, matching the paper's setup where repeated
+  operations on the same pair change nothing);
+* :func:`run_mechanism` feeds a pair sequence to a mechanism and records
+  the clock-size trajectory;
+* :func:`compare_mechanisms` runs several mechanisms (and optionally the
+  offline optimum) on identical reveal orders and returns one
+  :class:`OnlineRunResult` per mechanism - the raw material of Figs. 4-7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.computation.trace import Computation
+from repro.graph.bipartite import BipartiteGraph, Vertex
+from repro.graph.generators import SeedLike, _rng
+from repro.offline.algorithm import optimal_clock_size
+from repro.online.base import OnlineMechanism
+
+Pair = Tuple[Vertex, Vertex]
+MechanismFactory = Callable[[], OnlineMechanism]
+
+
+@dataclass(frozen=True)
+class OnlineRunResult:
+    """Outcome of running one mechanism over one reveal order.
+
+    ``size_trajectory[i]`` is the clock size after the ``i``-th revealed
+    event (so the final clock size is ``size_trajectory[-1]``, also exposed
+    as :attr:`final_size`).
+    """
+
+    mechanism_name: str
+    final_size: int
+    size_trajectory: Tuple[int, ...]
+    thread_components: int
+    object_components: int
+    events_revealed: int
+
+    @property
+    def sizes(self) -> Tuple[int, ...]:
+        return self.size_trajectory
+
+
+def reveal_order(graph: BipartiteGraph, seed: SeedLike = None) -> List[Pair]:
+    """A random order in which to reveal the edges of ``graph``.
+
+    Each edge appears exactly once; the shuffle models the unpredictability
+    of the online setting while keeping the final revealed graph equal to
+    ``graph``.
+    """
+    rng = _rng(seed)
+    edges = sorted(graph.edges(), key=str)
+    rng.shuffle(edges)
+    return edges
+
+
+def run_mechanism(
+    mechanism: OnlineMechanism, pairs: Iterable[Pair]
+) -> OnlineRunResult:
+    """Feed ``pairs`` to ``mechanism`` and record its clock-size trajectory."""
+    trajectory: List[int] = []
+    for thread, obj in pairs:
+        mechanism.observe(thread, obj)
+        trajectory.append(mechanism.clock_size)
+    return OnlineRunResult(
+        mechanism_name=mechanism.name,
+        final_size=mechanism.clock_size,
+        size_trajectory=tuple(trajectory),
+        thread_components=len(mechanism.thread_components),
+        object_components=len(mechanism.object_components),
+        events_revealed=mechanism.events_seen,
+    )
+
+
+def run_mechanism_on_graph(
+    mechanism: OnlineMechanism, graph: BipartiteGraph, seed: SeedLike = None
+) -> OnlineRunResult:
+    """Reveal ``graph``'s edges in a random order to ``mechanism``."""
+    return run_mechanism(mechanism, reveal_order(graph, seed=seed))
+
+
+def run_mechanism_on_computation(
+    mechanism: OnlineMechanism, computation: Computation
+) -> OnlineRunResult:
+    """Reveal a computation's operations (in interleaving order) to ``mechanism``."""
+    return run_mechanism(mechanism, computation.to_pairs())
+
+
+def compare_mechanisms(
+    graph: BipartiteGraph,
+    factories: Dict[str, MechanismFactory],
+    seed: SeedLike = None,
+    include_offline: bool = False,
+) -> Dict[str, OnlineRunResult]:
+    """Run several mechanisms on the *same* reveal order of ``graph``.
+
+    Parameters
+    ----------
+    factories:
+        Mapping from a label to a zero-argument callable producing a fresh
+        mechanism (mechanisms are single-use).
+    include_offline:
+        When ``True``, an entry ``"offline"`` is added whose ``final_size``
+        is the offline optimum (minimum vertex cover size) of ``graph``;
+        its trajectory is a constant line, matching how Figs. 6-7 plot it.
+    """
+    order = reveal_order(graph, seed=seed)
+    results: Dict[str, OnlineRunResult] = {}
+    for label, factory in factories.items():
+        results[label] = run_mechanism(factory(), order)
+    if include_offline:
+        optimum = optimal_clock_size(graph)
+        results["offline"] = OnlineRunResult(
+            mechanism_name="offline-optimal",
+            final_size=optimum,
+            size_trajectory=tuple([optimum] * len(order)),
+            thread_components=-1,
+            object_components=-1,
+            events_revealed=len(order),
+        )
+    return results

@@ -1,0 +1,49 @@
+"""Concurrent runtime substrate: simulator, tracer, race detector, recovery."""
+
+from repro.runtime.instrument import TracedObject, TracingSession
+from repro.runtime.race_detector import Race, RaceDetector, RaceReport, detect_races
+from repro.runtime.snapshots import (
+    Checkpoint,
+    CheckpointManager,
+    causal_past_cut,
+    frontier_of,
+    is_consistent_cut,
+    latest_consistent_cut,
+)
+from repro.runtime.system import (
+    ConcurrentSystem,
+    ExecutionResult,
+    Step,
+    ThreadProgram,
+    acquire,
+    counter_workload,
+    increment,
+    read,
+    release,
+    write,
+)
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointManager",
+    "ConcurrentSystem",
+    "ExecutionResult",
+    "Race",
+    "RaceDetector",
+    "RaceReport",
+    "Step",
+    "ThreadProgram",
+    "TracedObject",
+    "TracingSession",
+    "acquire",
+    "causal_past_cut",
+    "counter_workload",
+    "detect_races",
+    "frontier_of",
+    "is_consistent_cut",
+    "latest_consistent_cut",
+    "increment",
+    "read",
+    "release",
+    "write",
+]

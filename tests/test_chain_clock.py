@@ -1,0 +1,74 @@
+"""Unit tests for the chain-clock baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import ChainClock, chain_clock_size
+from repro.computation import Computation, HappenedBefore, random_trace
+from repro.exceptions import ClockError
+from tests.conftest import assert_valid_vector_clock
+
+
+class TestChainAssignment:
+    def test_single_thread_uses_one_chain(self):
+        computation = Computation.from_pairs([("A", f"O{i % 3}") for i in range(12)])
+        result = ChainClock().run(computation)
+        assert result.num_chains == 1
+        assert set(result.chain_assignment.values()) == {0}
+
+    def test_independent_threads_use_one_chain_each(self):
+        computation = Computation.from_pairs([("A", "x"), ("B", "y"), ("A", "x"), ("B", "y")])
+        result = ChainClock().run(computation)
+        assert result.num_chains == 2
+
+    def test_chain_elements_are_totally_ordered(self):
+        trace = random_trace(5, 6, 80, seed=21)
+        result = ChainClock().run(trace)
+        oracle = HappenedBefore(trace)
+        chains = {}
+        for event, chain in result.chain_assignment.items():
+            chains.setdefault(chain, []).append(event)
+        for members in chains.values():
+            members.sort(key=lambda e: e.index)
+            for earlier, later in zip(members, members[1:]):
+                assert oracle.happened_before(earlier, later)
+
+    def test_number_of_chains_bounded_by_events(self):
+        trace = random_trace(6, 6, 50, seed=3)
+        assert 1 <= chain_clock_size(trace) <= trace.num_events
+
+
+class TestChainClockTimestamps:
+    def test_valid_vector_clock_on_random_trace(self):
+        trace = random_trace(5, 7, 90, seed=8)
+        result = ChainClock().run(trace)
+        assert_valid_vector_clock(trace, lambda event: result.timestamps[event])
+
+    def test_result_queries_match_oracle(self, small_computation):
+        result = ChainClock().run(small_computation)
+        oracle = HappenedBefore(small_computation)
+        for a in small_computation:
+            for b in small_computation:
+                if a == b:
+                    assert not result.concurrent(a, b)
+                    continue
+                assert result.happened_before(a, b) == oracle.happened_before(a, b)
+                assert result.concurrent(a, b) == oracle.concurrent(a, b)
+
+    def test_clock_size_property(self, small_computation):
+        result = ChainClock().run(small_computation)
+        assert result.clock_size == result.num_chains
+
+    def test_reuse_rejected(self, small_computation):
+        clock = ChainClock()
+        clock.run(small_computation)
+        with pytest.raises(ClockError):
+            clock.run(small_computation)
+
+    def test_unobserved_event_rejected(self, small_computation):
+        clock = ChainClock()
+        with pytest.raises(ClockError):
+            clock.timestamp(small_computation.events[0])
+        with pytest.raises(ClockError):
+            clock.chain_of(small_computation.events[0])

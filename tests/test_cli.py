@@ -1,0 +1,87 @@
+"""Unit tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import WORKLOADS, build_parser, main
+from repro.computation.serialization import dump_computation, load_computation
+from repro.computation.workloads import paper_example_trace
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_workloads_listed(self):
+        assert "producer-consumer" in WORKLOADS
+        assert "paper-example" in WORKLOADS
+
+
+class TestDemo:
+    def test_demo_prints_cover_and_timestamps(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "O2" in out and "O3" in out and "T2" in out
+        assert "Clock size 3" in out
+        assert "clock components" in out  # the timestamp table
+
+
+class TestGenerateAndAnalyze:
+    def test_generate_writes_loadable_trace(self, tmp_path, capsys):
+        out_path = tmp_path / "trace.json"
+        assert main(["generate", "--workload", "work-stealing", "--seed", "3",
+                     "--out", str(out_path)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        trace = load_computation(out_path)
+        assert trace.num_events > 0
+
+    def test_analyze_reports_optimal_clock(self, tmp_path, capsys):
+        path = tmp_path / "paper.json"
+        dump_computation(paper_example_trace(), path)
+        assert main(["analyze", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "optimal clock:     3 components" in out
+        assert "O2" in out and "O3" in out and "T2" in out
+
+    def test_analyze_with_oracle_check(self, tmp_path, capsys):
+        path = tmp_path / "paper.json"
+        dump_computation(paper_example_trace(), path)
+        assert main(["analyze", str(path), "--check"]) == 0
+        assert "0 mismatching pairs" in capsys.readouterr().out
+
+    def test_analyze_missing_file_fails_cleanly(self, tmp_path, capsys):
+        assert main(["analyze", str(tmp_path / "nope.json")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_analyze_corrupt_file_fails_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        assert main(["analyze", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("workload", sorted(WORKLOADS))
+    def test_every_workload_generates(self, workload, tmp_path):
+        out_path = tmp_path / f"{workload}.json"
+        assert main(["generate", "--workload", workload, "--out", str(out_path)]) == 0
+        document = json.loads(out_path.read_text())
+        assert document["format"] == "repro-trace"
+
+
+class TestSweep:
+    def test_density_sweep_output(self, capsys):
+        assert main(["sweep", "density", "--nodes", "12", "--trials", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "density-sweep-uniform" in out
+        assert "popularity" in out
+        assert "crossover" in out
+
+    def test_node_sweep_with_offline(self, capsys):
+        assert main(["sweep", "nodes", "--density", "0.1", "--trials", "1",
+                     "--scenario", "nonuniform", "--offline"]) == 0
+        out = capsys.readouterr().out
+        assert "node-sweep-nonuniform" in out
+        assert "offline" in out

@@ -1,0 +1,150 @@
+"""Unit tests for events, computations and the computation builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.computation import Computation, ComputationBuilder, Event, Operation
+from repro.computation.workloads import paper_example_trace
+from repro.exceptions import ComputationError
+
+
+class TestEvent:
+    def test_event_fields_and_helpers(self):
+        e = Event(index=0, thread="T1", obj="O1", thread_seq=0, object_seq=0)
+        f = Event(index=1, thread="T1", obj="O2", thread_seq=1, object_seq=0)
+        g = Event(index=2, thread="T2", obj="O2", thread_seq=0, object_seq=1)
+        assert e.same_thread(f)
+        assert not e.same_thread(g)
+        assert f.same_object(g)
+        assert e.endpoints() == ("T1", "O1")
+        assert str(e) == "[T1,O1]#0"
+        assert "T1" in e.describe()
+
+    def test_event_is_hashable_and_frozen(self):
+        e = Event(index=0, thread="T1", obj="O1", thread_seq=0, object_seq=0)
+        assert {e: 1}[e] == 1
+        with pytest.raises(AttributeError):
+            e.thread = "T2"
+
+    def test_operation_defaults(self):
+        op = Operation(thread="T1", obj="O1")
+        assert op.is_write
+        assert op.label == ""
+
+
+class TestComputationBuilder:
+    def test_sequence_numbers(self):
+        builder = ComputationBuilder()
+        e0 = builder.append("A", "x")
+        e1 = builder.append("A", "y")
+        e2 = builder.append("B", "x")
+        assert (e0.thread_seq, e0.object_seq) == (0, 0)
+        assert (e1.thread_seq, e1.object_seq) == (1, 0)
+        assert (e2.thread_seq, e2.object_seq) == (0, 1)
+        assert builder.num_events == 3
+        assert builder.events_so_far() == (e0, e1, e2)
+
+    def test_extend(self):
+        builder = ComputationBuilder()
+        builder.extend([("A", "x"), ("B", "y")])
+        computation = builder.build()
+        assert computation.num_events == 2
+
+
+class TestComputation:
+    def test_from_pairs_and_accessors(self, small_computation):
+        assert small_computation.num_events == 5
+        assert small_computation.threads == ("A", "B")
+        assert small_computation.objects == ("x", "shared", "y")
+        assert small_computation.num_threads == 2
+        assert small_computation.num_objects == 3
+        assert len(small_computation) == 5
+        assert small_computation[0].thread == "A"
+
+    def test_from_operations(self):
+        ops = [Operation("A", "x", label="write", is_write=True),
+               Operation("B", "x", label="read", is_write=False)]
+        computation = Computation.from_operations(ops)
+        assert computation[0].label == "write"
+        assert computation[1].is_write is False
+
+    def test_chains(self, small_computation):
+        a_chain = small_computation.thread_events("A")
+        assert [e.obj for e in a_chain] == ["x", "shared", "x"]
+        shared_chain = small_computation.object_events("shared")
+        assert [e.thread for e in shared_chain] == ["B", "A"]
+
+    def test_unknown_chain_raises(self, small_computation):
+        with pytest.raises(ComputationError):
+            small_computation.thread_events("Z")
+        with pytest.raises(ComputationError):
+            small_computation.object_events("zz")
+
+    def test_bipartite_graph_projection(self, small_computation):
+        graph = small_computation.bipartite_graph()
+        assert graph.num_threads == 2
+        assert graph.num_objects == 3
+        assert set(graph.edges()) == {
+            ("A", "x"),
+            ("A", "shared"),
+            ("B", "shared"),
+            ("B", "y"),
+        }
+
+    def test_access_pairs_deduplicated_in_first_occurrence_order(self, small_computation):
+        assert small_computation.access_pairs() == (
+            ("A", "x"),
+            ("B", "shared"),
+            ("A", "shared"),
+            ("B", "y"),
+        )
+
+    def test_prefix(self, small_computation):
+        prefix = small_computation.prefix(2)
+        assert prefix.num_events == 2
+        assert prefix.to_pairs() == [("A", "x"), ("B", "shared")]
+        with pytest.raises(ComputationError):
+            small_computation.prefix(-1)
+
+    def test_immediate_predecessors_and_successors(self, small_computation):
+        events = small_computation.events
+        # events: 0=(A,x) 1=(B,shared) 2=(A,shared) 3=(A,x) 4=(B,y)
+        assert small_computation.immediate_predecessors(events[0]) == ()
+        assert set(small_computation.immediate_predecessors(events[2])) == {
+            events[0],
+            events[1],
+        }
+        assert set(small_computation.immediate_successors(events[0])) == {events[2], events[3]}
+        assert small_computation.immediate_successors(events[4]) == ()
+
+    def test_round_trip_to_pairs(self, small_computation):
+        pairs = small_computation.to_pairs()
+        rebuilt = Computation.from_pairs(pairs)
+        assert rebuilt == small_computation
+
+    def test_equality(self, small_computation):
+        assert small_computation == Computation.from_pairs(small_computation.to_pairs())
+        assert small_computation != Computation.from_pairs([("A", "x")])
+        assert small_computation != 42
+
+    def test_validation_rejects_bad_indices(self):
+        bad = [Event(index=1, thread="A", obj="x", thread_seq=0, object_seq=0)]
+        with pytest.raises(ComputationError):
+            Computation(bad)
+
+    def test_validation_rejects_bad_sequence_numbers(self):
+        bad = [
+            Event(index=0, thread="A", obj="x", thread_seq=0, object_seq=0),
+            Event(index=1, thread="A", obj="x", thread_seq=2, object_seq=1),
+        ]
+        with pytest.raises(ComputationError):
+            Computation(bad)
+
+    def test_paper_example_trace(self):
+        trace = paper_example_trace()
+        assert trace.num_threads == 4
+        assert trace.num_objects == 3  # O4 never appears in the computation
+        graph = trace.bipartite_graph()
+        for thread, obj in graph.edges():
+            assert thread == "T2" or obj in ("O2", "O3")

@@ -1,0 +1,137 @@
+"""Failure-injection tests: break an invariant on purpose, expect loud failure.
+
+A causality-tracking library that silently produces wrong orderings is worse
+than one that crashes.  These tests deliberately violate the preconditions
+the correctness proofs rely on - a component set that is not a vertex
+cover, tampered timestamps, malformed traces - and assert that the library
+either refuses to proceed or demonstrably loses the vector clock property
+(which is what the validation layers exist to prevent).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from hypothesis import given, settings, strategies as st
+
+from repro.computation import Computation, HappenedBefore
+from repro.core import ClockComponents, VectorClockProtocol, timestamp_with_mixed_clock
+from repro.exceptions import (
+    ClockError,
+    ComponentError,
+    ComputationError,
+    VertexCoverError,
+)
+from repro.graph import uniform_bipartite
+from repro.graph.vertex_cover import validate_vertex_cover
+from repro.offline import optimal_components_for_computation
+from tests.conftest import random_pairs
+
+
+class TestBrokenCovers:
+    def test_removing_any_cover_vertex_breaks_coverage(self):
+        trace = Computation.from_pairs(random_pairs(5, 5, 60, seed=3))
+        result = optimal_components_for_computation(trace)
+        graph = trace.bipartite_graph()
+        for vertex in result.cover:
+            damaged = set(result.cover) - {vertex}
+            # A minimum cover is tight: dropping any vertex uncovers an edge.
+            with pytest.raises(VertexCoverError):
+                validate_vertex_cover(graph, damaged)
+            with pytest.raises(ComponentError):
+                timestamp_with_mixed_clock(trace, damaged, graph=graph)
+
+    def test_uncovered_protocol_loses_the_vector_clock_property(self):
+        # Thread B's operations are not covered by the single component "A",
+        # so consecutive B events receive identical (all-zero) timestamps:
+        # the happened-before relation between them is lost.
+        trace = Computation.from_pairs([("B", "x"), ("B", "x")])
+        protocol = VectorClockProtocol(ClockComponents(["A"], []), strict=False)
+        stamped = protocol.timestamp_computation(trace)
+        oracle = HappenedBefore(trace)
+        b_first, b_second = trace.events
+        assert oracle.happened_before(b_first, b_second)
+        # The timestamps fail to reflect it - which is exactly why strict
+        # mode refuses to timestamp uncovered events in the first place.
+        assert not (stamped[b_first] < stamped[b_second])
+        assert stamped[b_first] == stamped[b_second]
+
+    def test_strict_mode_rejects_the_same_situation_up_front(self):
+        trace = Computation.from_pairs([("B", "x"), ("A", "x"), ("B", "x")])
+        protocol = VectorClockProtocol(ClockComponents(["A"], []))
+        with pytest.raises(ComponentError):
+            protocol.timestamp_computation(trace)
+
+
+class TestTamperedTimestamps:
+    def test_tampered_component_set_is_rejected_on_comparison(self):
+        trace = Computation.from_pairs(random_pairs(4, 4, 30, seed=9))
+        result = optimal_components_for_computation(trace)
+        stamped = result.protocol().timestamp_computation(trace)
+        other_components = ClockComponents(["Z"], [])
+        from repro.core import Timestamp
+
+        foreign = Timestamp.zero(other_components)
+        with pytest.raises(ClockError):
+            foreign < stamped[trace.events[0]]
+
+    def test_negative_or_short_vectors_rejected(self):
+        components = ClockComponents(["A"], ["x"])
+        from repro.core import Timestamp
+
+        with pytest.raises(ClockError):
+            Timestamp(components, [1])
+        with pytest.raises(ClockError):
+            Timestamp(components, [1, -2])
+
+
+class TestMalformedTraces:
+    @settings(max_examples=25, deadline=None)
+    @given(st.data())
+    def test_shuffled_event_metadata_is_rejected(self, data):
+        pairs = data.draw(
+            st.lists(
+                st.tuples(st.sampled_from(["A", "B", "C"]), st.sampled_from(["x", "y"])),
+                min_size=2,
+                max_size=12,
+            )
+        )
+        trace = Computation.from_pairs(pairs)
+        events = list(trace.events)
+        i = data.draw(st.integers(min_value=0, max_value=len(events) - 1))
+        j = data.draw(st.integers(min_value=0, max_value=len(events) - 1))
+        if i == j:
+            return
+        events[i], events[j] = events[j], events[i]
+        # Swapping two events without re-deriving indices / chain positions
+        # must be caught by Computation's validation.
+        with pytest.raises(ComputationError):
+            Computation(events)
+
+    def test_prefix_of_foreign_events_rejected_by_oracle(self):
+        trace_a = Computation.from_pairs(random_pairs(3, 3, 20, seed=1))
+        trace_b = Computation.from_pairs(random_pairs(3, 3, 25, seed=2))
+        oracle = HappenedBefore(trace_a)
+        with pytest.raises(ComputationError):
+            oracle.happened_before(trace_b.events[-1], trace_a.events[0])
+
+
+class TestProtocolMisuse:
+    def test_protocol_reuse_across_computations_is_rejected(self):
+        trace = Computation.from_pairs(random_pairs(3, 3, 15, seed=5))
+        result = optimal_components_for_computation(trace)
+        protocol = result.protocol()
+        protocol.timestamp_computation(trace)
+        with pytest.raises(ClockError):
+            protocol.timestamp_computation(trace)
+
+    def test_cover_for_one_graph_rejected_on_a_larger_one(self):
+        small = uniform_bipartite(6, 6, 0.3, seed=1)
+        big = uniform_bipartite(12, 12, 0.3, seed=1)
+        from repro.graph import minimum_vertex_cover
+
+        small_cover = minimum_vertex_cover(small)
+        components = ClockComponents.from_cover(big, small_cover)
+        assert not components.covers_graph(big)
+        with pytest.raises(ComponentError):
+            components.validate_covers_graph(big)

@@ -1,0 +1,144 @@
+"""Unit tests for the random bipartite graph generators (Section V scenarios)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import (
+    BipartiteGraph,
+    GraphSpec,
+    clustered_bipartite,
+    complete_bipartite,
+    graph_from_edges,
+    nonuniform_bipartite,
+    object_names,
+    powerlaw_bipartite,
+    star_bipartite,
+    thread_names,
+    uniform_bipartite,
+)
+from repro.graph.generators import expected_edge_count
+
+
+class TestNames:
+    def test_thread_and_object_names(self):
+        assert thread_names(3) == ["T0", "T1", "T2"]
+        assert object_names(2) == ["O0", "O1"]
+        assert thread_names(0) == []
+
+
+class TestUniform:
+    def test_shape(self):
+        graph = uniform_bipartite(10, 20, 0.3, seed=1)
+        assert graph.num_threads == 10
+        assert graph.num_objects == 20
+
+    def test_determinism_with_seed(self):
+        a = uniform_bipartite(15, 15, 0.2, seed=7)
+        b = uniform_bipartite(15, 15, 0.2, seed=7)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = uniform_bipartite(20, 20, 0.3, seed=1)
+        b = uniform_bipartite(20, 20, 0.3, seed=2)
+        assert a != b
+
+    def test_density_extremes(self):
+        empty = uniform_bipartite(10, 10, 0.0, seed=3)
+        assert empty.num_edges == 0
+        full = uniform_bipartite(10, 10, 1.0, seed=3)
+        assert full.num_edges == 100
+
+    def test_expected_density_approximately_met(self):
+        graph = uniform_bipartite(60, 60, 0.1, seed=11)
+        expected = expected_edge_count(60, 60, 0.1)
+        assert abs(graph.num_edges - expected) < 0.35 * expected
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            uniform_bipartite(0, 10, 0.5)
+        with pytest.raises(ValueError):
+            uniform_bipartite(10, 0, 0.5)
+        with pytest.raises(ValueError):
+            uniform_bipartite(10, 10, 1.5)
+        with pytest.raises(ValueError):
+            uniform_bipartite(10, 10, -0.1)
+
+
+class TestNonuniform:
+    def test_shape_and_determinism(self):
+        a = nonuniform_bipartite(30, 30, 0.05, seed=5)
+        b = nonuniform_bipartite(30, 30, 0.05, seed=5)
+        assert a == b
+        assert a.num_threads == 30 and a.num_objects == 30
+
+    def test_popular_vertices_have_higher_degree(self):
+        graph = nonuniform_bipartite(
+            50, 50, 0.05, popular_fraction=0.1, popular_boost=10.0, seed=9
+        )
+        degrees = sorted((graph.degree(t) for t in graph.threads), reverse=True)
+        top = sum(degrees[:5]) / 5
+        rest = sum(degrees[5:]) / max(1, len(degrees) - 5)
+        assert top > rest  # the popular 10% dominate
+
+    def test_overall_density_close_to_requested(self):
+        graph = nonuniform_bipartite(80, 80, 0.05, seed=3)
+        assert 0.02 <= graph.density() <= 0.09
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            nonuniform_bipartite(10, 10, 0.05, popular_fraction=1.5)
+        with pytest.raises(ValueError):
+            nonuniform_bipartite(10, 10, 0.05, popular_boost=0.5)
+
+
+class TestOtherFamilies:
+    def test_powerlaw_shape(self):
+        graph = powerlaw_bipartite(40, 40, 0.05, seed=2)
+        assert graph.num_threads == 40
+        assert graph.num_objects == 40
+        assert graph.num_edges > 0
+
+    def test_powerlaw_determinism(self):
+        assert powerlaw_bipartite(20, 20, 0.1, seed=4) == powerlaw_bipartite(
+            20, 20, 0.1, seed=4
+        )
+
+    def test_clustered_shape(self):
+        graph = clustered_bipartite(40, 40, 0.05, num_clusters=4, seed=6)
+        assert graph.num_threads == 40
+        assert graph.num_edges > 0
+
+    def test_clustered_validation(self):
+        with pytest.raises(ValueError):
+            clustered_bipartite(10, 10, 0.1, num_clusters=0)
+
+    def test_complete_and_star(self):
+        assert complete_bipartite(3, 4).num_edges == 12
+        star = star_bipartite(5, 7)
+        assert star.num_edges == 7
+        assert star.degree("T0") == 7
+
+    def test_graph_from_edges(self):
+        graph = graph_from_edges([("a", "x"), ("b", "x")])
+        assert graph.num_threads == 2
+        assert graph.num_objects == 1
+
+
+class TestGraphSpec:
+    @pytest.mark.parametrize("family", ["uniform", "nonuniform", "powerlaw", "clustered"])
+    def test_spec_generates_each_family(self, family):
+        spec = GraphSpec(family=family, num_threads=12, num_objects=12, density=0.2, seed=3)
+        graph = spec.generate()
+        assert isinstance(graph, BipartiteGraph)
+        assert graph.num_threads == 12
+
+    def test_spec_seed_override(self):
+        spec = GraphSpec(family="uniform", num_threads=12, num_objects=12, density=0.3, seed=3)
+        assert spec.generate(seed=5) == spec.generate(seed=5)
+        assert spec.generate(seed=5) != spec.generate(seed=6)
+
+    def test_unknown_family(self):
+        spec = GraphSpec(family="hypercube", num_threads=4, num_objects=4, density=0.5)
+        with pytest.raises(ValueError):
+            spec.generate()

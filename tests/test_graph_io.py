@@ -1,0 +1,81 @@
+"""Unit tests for bipartite graph serialization."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph import BipartiteGraph, paper_example_graph, uniform_bipartite
+from repro.graph.io import (
+    FORMAT_NAME,
+    dump_edge_list,
+    dump_graph,
+    graph_from_dict,
+    graph_to_dict,
+    load_edge_list,
+    load_graph,
+)
+
+
+class TestJsonFormat:
+    def test_dict_round_trip_preserves_isolated_vertices(self):
+        graph = BipartiteGraph(threads=["T1", "T2"], objects=["O1", "O2"],
+                               edges=[("T1", "O1")])
+        rebuilt = graph_from_dict(graph_to_dict(graph))
+        assert rebuilt == graph
+        assert rebuilt.isolated_vertices() == {"T2", "O2"}
+
+    def test_file_round_trip(self, tmp_path):
+        graph = uniform_bipartite(12, 15, 0.2, seed=3)
+        path = tmp_path / "graph.json"
+        dump_graph(graph, path)
+        assert load_graph(path) == graph
+        assert json.loads(path.read_text())["format"] == FORMAT_NAME
+
+    def test_rejects_wrong_format_and_version(self):
+        with pytest.raises(GraphError):
+            graph_from_dict({"format": "other", "version": 1})
+        with pytest.raises(GraphError):
+            graph_from_dict({"format": FORMAT_NAME, "version": 9})
+        with pytest.raises(GraphError):
+            graph_from_dict(["nope"])
+
+    def test_rejects_malformed_edges(self):
+        base = {"format": FORMAT_NAME, "version": 1, "threads": ["T1"], "objects": ["O1"]}
+        with pytest.raises(GraphError):
+            graph_from_dict({**base, "edges": [["T1"]]})
+        with pytest.raises(GraphError):
+            graph_from_dict({**base, "edges": [["T1", "O9"]]})
+        with pytest.raises(GraphError):
+            graph_from_dict({**base, "edges": "not-a-list"})
+
+    def test_rejects_invalid_json_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{oops")
+        with pytest.raises(GraphError):
+            load_graph(path)
+
+
+class TestEdgeListFormat:
+    def test_round_trip(self, tmp_path):
+        graph = paper_example_graph()
+        path = tmp_path / "graph.tsv"
+        dump_edge_list(graph, path)
+        rebuilt = load_edge_list(path)
+        # Isolated vertices (O4) are not representable in an edge list.
+        assert set(rebuilt.edges()) == set(graph.edges())
+        assert rebuilt.num_objects == graph.num_objects - 1
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "graph.tsv"
+        path.write_text("# a comment\n\nT1\tO1\nT2 O1\n")
+        graph = load_edge_list(path)
+        assert set(graph.edges()) == {("T1", "O1"), ("T2", "O1")}
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "graph.tsv"
+        path.write_text("T1 O1 extra\n")
+        with pytest.raises(GraphError):
+            load_edge_list(path)

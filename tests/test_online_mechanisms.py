@@ -1,0 +1,222 @@
+"""Unit tests for the online mechanisms (Naive, Random, Popularity, Hybrid)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import OnlineMechanismError
+from repro.graph import paper_example_graph, star_bipartite, uniform_bipartite
+from repro.offline import optimal_clock_size
+from repro.online import (
+    HybridMechanism,
+    NaiveMechanism,
+    PopularityMechanism,
+    RandomMechanism,
+)
+from repro.online.base import OBJECT, THREAD
+
+
+def feed(mechanism, pairs):
+    for thread, obj in pairs:
+        mechanism.observe(thread, obj)
+    return mechanism
+
+
+class TestBaseBehaviour:
+    def test_components_cover_every_revealed_event(self):
+        graph = uniform_bipartite(20, 20, 0.1, seed=3)
+        for mechanism in (NaiveMechanism(), RandomMechanism(seed=1), PopularityMechanism(), HybridMechanism()):
+            feed(mechanism, graph.edges())
+            for thread, obj in graph.edges():
+                assert mechanism.covers(thread, obj)
+            components = mechanism.components()
+            components.validate_covers_graph(mechanism.revealed_graph)
+
+    def test_covered_event_does_not_grow_clock(self):
+        mechanism = NaiveMechanism()
+        assert mechanism.observe("T1", "O1") == "T1"
+        assert mechanism.observe("T1", "O2") is None  # T1 already a component
+        assert mechanism.clock_size == 1
+
+    def test_repeated_event_does_not_grow_clock_or_graph(self):
+        mechanism = PopularityMechanism()
+        mechanism.observe("T1", "O1")
+        edges_before = mechanism.revealed_graph.num_edges
+        mechanism.observe("T1", "O1")
+        assert mechanism.revealed_graph.num_edges == edges_before
+        assert mechanism.clock_size == 1
+
+    def test_decision_log(self):
+        mechanism = NaiveMechanism()
+        mechanism.observe("T1", "O1")
+        mechanism.observe("T2", "O1")
+        decisions = mechanism.decisions
+        assert len(decisions) == 2
+        assert decisions[0].component == "T1"
+        assert decisions[0].event_index == 0
+        assert decisions[1].thread == "T2"
+        assert decisions[1].choice == THREAD
+
+    def test_observe_all_and_summary(self):
+        mechanism = NaiveMechanism()
+        mechanism.observe_all([("T1", "O1"), ("T2", "O2")])
+        summary = mechanism.summary()
+        assert summary["mechanism"] == "naive-thread"
+        assert summary["clock_size"] == 2
+        assert summary["events_seen"] == 2
+        assert summary["revealed_edges"] == 2
+
+    def test_existing_components_are_never_removed(self):
+        graph = uniform_bipartite(15, 15, 0.2, seed=5)
+        mechanism = PopularityMechanism()
+        seen = set()
+        for thread, obj in graph.edges():
+            mechanism.observe(thread, obj)
+            current = set(mechanism.thread_components) | set(mechanism.object_components)
+            assert seen <= current  # monotone growth
+            seen = current
+
+    def test_invalid_choice_rejected(self):
+        class BrokenMechanism(NaiveMechanism):
+            def _choose(self, thread, obj):
+                return "coin"
+
+        with pytest.raises(OnlineMechanismError):
+            BrokenMechanism().observe("T1", "O1")
+
+
+class TestNaive:
+    def test_thread_side_counts_distinct_threads(self):
+        graph = uniform_bipartite(10, 10, 0.3, seed=2)
+        mechanism = feed(NaiveMechanism(side=THREAD), graph.edges())
+        active_threads = {t for t, _ in graph.edges()}
+        assert mechanism.clock_size == len(active_threads)
+        assert mechanism.object_components == frozenset()
+
+    def test_object_side_counts_distinct_objects(self):
+        graph = uniform_bipartite(10, 10, 0.3, seed=2)
+        mechanism = feed(NaiveMechanism(side=OBJECT), graph.edges())
+        active_objects = {o for _, o in graph.edges()}
+        assert mechanism.clock_size == len(active_objects)
+        assert mechanism.thread_components == frozenset()
+
+    def test_invalid_side(self):
+        with pytest.raises(OnlineMechanismError):
+            NaiveMechanism(side="both")
+
+    def test_name_reflects_side(self):
+        assert NaiveMechanism(side=THREAD).name == "naive-thread"
+        assert NaiveMechanism(side=OBJECT).name == "naive-object"
+
+
+class TestRandom:
+    def test_deterministic_given_seed(self):
+        graph = uniform_bipartite(20, 20, 0.1, seed=7)
+        order = sorted(graph.edges())
+        a = feed(RandomMechanism(seed=42), order)
+        b = feed(RandomMechanism(seed=42), order)
+        assert a.components() == b.components()
+
+    def test_probability_extremes_degenerate_to_naive(self):
+        graph = uniform_bipartite(10, 10, 0.3, seed=9)
+        order = sorted(graph.edges())
+        all_threads = feed(RandomMechanism(seed=1, thread_probability=1.0), order)
+        assert all_threads.object_components == frozenset()
+        all_objects = feed(RandomMechanism(seed=1, thread_probability=0.0), order)
+        assert all_objects.thread_components == frozenset()
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            RandomMechanism(thread_probability=1.5)
+
+
+class TestPopularity:
+    def test_picks_more_popular_endpoint(self):
+        mechanism = PopularityMechanism()
+        # Build up O1's degree through covered events, then present an
+        # uncovered event whose object is clearly more popular.
+        mechanism.observe("T1", "O1")        # adds T1 (tie, degree 1 vs 1)
+        mechanism.observe("T2", "O1")        # O1 now degree 2 > T2 degree 1 -> adds O1
+        assert "O1" in mechanism.object_components
+        # A fresh thread touching the popular object is already covered.
+        assert mechanism.observe("T3", "O1") is None
+
+    def test_tie_break_side(self):
+        thread_tie = PopularityMechanism(tie_break=THREAD)
+        thread_tie.observe("T1", "O1")
+        assert "T1" in thread_tie.thread_components
+        object_tie = PopularityMechanism(tie_break=OBJECT)
+        object_tie.observe("T1", "O1")
+        assert "O1" in object_tie.object_components
+
+    def test_invalid_tie_break(self):
+        with pytest.raises(OnlineMechanismError):
+            PopularityMechanism(tie_break="coin")
+
+    def test_star_graph_converges_to_single_hub(self):
+        # All edges share the thread hub; popularity locks onto it quickly.
+        graph = star_bipartite(1, 30)
+        mechanism = feed(PopularityMechanism(), sorted(graph.edges()))
+        assert mechanism.clock_size <= 2
+        assert "T0" in mechanism.thread_components
+
+    def test_paper_example_not_worse_than_naive(self):
+        graph = paper_example_graph()
+        order = sorted(graph.edges())
+        popularity = feed(PopularityMechanism(), order)
+        naive = feed(NaiveMechanism(), order)
+        assert popularity.clock_size <= naive.clock_size
+        assert popularity.clock_size >= optimal_clock_size(graph)
+
+
+class TestHybrid:
+    def test_switches_to_naive_when_density_exceeded(self):
+        mechanism = HybridMechanism(
+            density_threshold=0.0, node_threshold=10_000, warmup_edges=1
+        )
+        mechanism.observe("T1", "O1")
+        assert mechanism.in_naive_phase
+        assert mechanism.switched_at == 0
+        mechanism.observe("T2", "O1")  # naive phase adds the thread
+        assert "T2" in mechanism.thread_components
+
+    def test_density_check_waits_for_warmup(self):
+        mechanism = HybridMechanism(density_threshold=0.0, node_threshold=10_000,
+                                    warmup_edges=3)
+        mechanism.observe("T1", "O1")
+        mechanism.observe("T2", "O2")
+        assert not mechanism.in_naive_phase  # only 2 edges revealed so far
+        mechanism.observe("T3", "O3")
+        assert mechanism.in_naive_phase
+        assert mechanism.warmup_edges == 3
+
+    def test_switches_to_naive_when_node_count_exceeded(self):
+        mechanism = HybridMechanism(density_threshold=10.0, node_threshold=3)
+        mechanism.observe("T1", "O1")
+        assert not mechanism.in_naive_phase
+        mechanism.observe("T2", "O2")  # 4 vertices > 3 -> switch
+        assert mechanism.in_naive_phase
+
+    def test_behaves_like_popularity_before_switch(self):
+        graph = uniform_bipartite(12, 12, 0.1, seed=6)
+        order = sorted(graph.edges())
+        hybrid = feed(HybridMechanism(density_threshold=10.0, node_threshold=10_000), order)
+        popularity = feed(PopularityMechanism(), order)
+        assert hybrid.components() == popularity.components()
+        assert not hybrid.in_naive_phase
+
+    def test_parameter_validation(self):
+        with pytest.raises(OnlineMechanismError):
+            HybridMechanism(density_threshold=-1)
+        with pytest.raises(OnlineMechanismError):
+            HybridMechanism(node_threshold=-1)
+        with pytest.raises(OnlineMechanismError):
+            HybridMechanism(naive_side="both")
+        with pytest.raises(OnlineMechanismError):
+            HybridMechanism(warmup_edges=-1)
+
+    def test_clock_never_smaller_than_optimal(self):
+        for seed in range(5):
+            graph = uniform_bipartite(15, 15, 0.15, seed=seed)
+            mechanism = feed(HybridMechanism(), sorted(graph.edges()))
+            assert mechanism.clock_size >= optimal_clock_size(graph)

@@ -1,0 +1,86 @@
+"""Unit tests for online timestamping with a growing component set."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.computation import Computation, HappenedBefore, random_trace
+from repro.exceptions import ClockError
+from repro.online import (
+    NaiveMechanism,
+    OnlineClockProtocol,
+    PopularityMechanism,
+    RandomMechanism,
+)
+from tests.conftest import assert_valid_vector_clock
+
+
+class TestOnlineClockProtocol:
+    def test_requires_fresh_mechanism(self):
+        mechanism = NaiveMechanism()
+        mechanism.observe("T1", "O1")
+        with pytest.raises(ClockError):
+            OnlineClockProtocol(mechanism)
+
+    def test_observe_returns_growing_timestamps(self):
+        protocol = OnlineClockProtocol(NaiveMechanism())
+        first = protocol.observe("A", "x")
+        second = protocol.observe("A", "x")
+        assert first < second
+        assert protocol.clock_size == 1
+        assert protocol.thread_clock("A") == second
+        assert protocol.object_clock("x") == second
+
+    def test_unseen_endpoints_have_zero_clock(self):
+        protocol = OnlineClockProtocol(NaiveMechanism())
+        assert protocol.thread_clock("ghost").as_dict() == {}
+        assert protocol.object_clock("ghost").as_dict() == {}
+
+    def test_timestamp_computation_and_queries(self, small_computation):
+        protocol = OnlineClockProtocol(PopularityMechanism())
+        stamps = protocol.timestamp_computation(small_computation)
+        assert set(stamps) == set(small_computation.events)
+        oracle = HappenedBefore(small_computation)
+        for a in small_computation:
+            for b in small_computation:
+                if a == b:
+                    assert not protocol.concurrent(a, b)
+                    continue
+                assert protocol.happened_before(a, b) == oracle.happened_before(a, b)
+                assert protocol.concurrent(a, b) == oracle.concurrent(a, b)
+
+    def test_timestamp_computation_requires_fresh_protocol(self, small_computation):
+        protocol = OnlineClockProtocol(NaiveMechanism())
+        protocol.timestamp_computation(small_computation)
+        with pytest.raises(ClockError):
+            protocol.timestamp_computation(small_computation)
+
+    def test_unknown_event_timestamp_rejected(self, small_computation):
+        protocol = OnlineClockProtocol(NaiveMechanism())
+        protocol.timestamp_computation(small_computation)
+        foreign = Computation.from_pairs([("Z", "q")]).events[0]
+        with pytest.raises(ClockError):
+            protocol.timestamp(foreign)
+
+    @pytest.mark.parametrize(
+        "mechanism_factory",
+        [
+            lambda: NaiveMechanism(),
+            lambda: NaiveMechanism(side="object"),
+            lambda: RandomMechanism(seed=13),
+            lambda: PopularityMechanism(),
+        ],
+        ids=["naive-thread", "naive-object", "random", "popularity"],
+    )
+    def test_validity_on_random_computations(self, mechanism_factory):
+        trace = random_trace(6, 8, 90, seed=17)
+        protocol = OnlineClockProtocol(mechanism_factory())
+        protocol.timestamp_computation(trace)
+        assert_valid_vector_clock(trace, protocol.timestamp)
+
+    def test_clock_size_matches_mechanism(self, medium_random_computation):
+        mechanism = PopularityMechanism()
+        protocol = OnlineClockProtocol(mechanism)
+        protocol.timestamp_computation(medium_random_computation)
+        assert protocol.clock_size == mechanism.clock_size
+        assert protocol.mechanism is mechanism

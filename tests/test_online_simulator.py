@@ -1,0 +1,82 @@
+"""Unit tests for the online simulation driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.computation import random_trace
+from repro.graph import uniform_bipartite
+from repro.offline import optimal_clock_size
+from repro.online import (
+    NaiveMechanism,
+    PopularityMechanism,
+    RandomMechanism,
+    compare_mechanisms,
+    reveal_order,
+    run_mechanism,
+    run_mechanism_on_computation,
+    run_mechanism_on_graph,
+)
+
+
+class TestRevealOrder:
+    def test_is_permutation_of_edges(self):
+        graph = uniform_bipartite(10, 10, 0.3, seed=1)
+        order = reveal_order(graph, seed=2)
+        assert sorted(order) == sorted(graph.edges())
+
+    def test_deterministic_given_seed(self):
+        graph = uniform_bipartite(10, 10, 0.3, seed=1)
+        assert reveal_order(graph, seed=5) == reveal_order(graph, seed=5)
+        assert reveal_order(graph, seed=5) != reveal_order(graph, seed=6)
+
+
+class TestRunMechanism:
+    def test_trajectory_is_monotone_and_bounded(self):
+        graph = uniform_bipartite(15, 15, 0.2, seed=3)
+        result = run_mechanism_on_graph(PopularityMechanism(), graph, seed=4)
+        assert result.events_revealed == graph.num_edges
+        assert len(result.size_trajectory) == graph.num_edges
+        assert list(result.size_trajectory) == sorted(result.size_trajectory)
+        assert result.final_size == result.size_trajectory[-1]
+        assert result.final_size == result.sizes[-1]
+        assert result.thread_components + result.object_components == result.final_size
+
+    def test_run_on_computation_counts_every_event(self):
+        trace = random_trace(5, 5, 40, seed=6)
+        result = run_mechanism_on_computation(NaiveMechanism(), trace)
+        assert result.events_revealed == trace.num_events
+        assert result.final_size == len(set(trace.threads))
+
+    def test_final_size_never_below_offline_optimum(self):
+        for seed in range(5):
+            graph = uniform_bipartite(12, 12, 0.25, seed=seed)
+            optimum = optimal_clock_size(graph)
+            for mechanism in (NaiveMechanism(), RandomMechanism(seed=seed), PopularityMechanism()):
+                result = run_mechanism_on_graph(mechanism, graph, seed=seed)
+                assert result.final_size >= optimum
+
+
+class TestCompareMechanisms:
+    def test_all_mechanisms_see_the_same_reveal_order(self):
+        graph = uniform_bipartite(10, 10, 0.3, seed=9)
+        results = compare_mechanisms(
+            graph,
+            {
+                "naive": lambda: NaiveMechanism(),
+                "naive-again": lambda: NaiveMechanism(),
+            },
+            seed=1,
+        )
+        assert results["naive"].final_size == results["naive-again"].final_size
+        assert results["naive"].size_trajectory == results["naive-again"].size_trajectory
+
+    def test_include_offline_adds_constant_series(self):
+        graph = uniform_bipartite(10, 10, 0.2, seed=2)
+        results = compare_mechanisms(
+            graph, {"popularity": lambda: PopularityMechanism()}, seed=3, include_offline=True
+        )
+        offline = results["offline"]
+        assert offline.final_size == optimal_clock_size(graph)
+        assert set(offline.size_trajectory) == {offline.final_size}
+        assert results["popularity"].final_size >= offline.final_size

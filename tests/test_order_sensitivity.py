@@ -1,0 +1,64 @@
+"""Unit tests for the reveal-order sensitivity analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.graph import BipartiteGraph, nonuniform_bipartite, uniform_bipartite
+from repro.online import NaiveMechanism, PopularityMechanism, RandomMechanism
+from repro.online.sensitivity import compare_order_sensitivity, order_sensitivity
+
+
+class TestOrderSensitivity:
+    def test_naive_is_order_insensitive(self):
+        # Naive always adds the thread of an uncovered event, so the final
+        # component set is exactly the set of active threads - independent
+        # of the reveal order.
+        graph = uniform_bipartite(15, 15, 0.2, seed=1)
+        result = order_sensitivity(graph, lambda seed: NaiveMechanism(), trials=10)
+        assert result.spread == 0
+        assert result.stats.minimum == result.stats.maximum
+        assert result.mechanism == "naive-thread"
+
+    def test_adaptive_mechanisms_respect_optimum_bound(self):
+        graph = nonuniform_bipartite(20, 20, 0.1, seed=2)
+        for factory in (lambda seed: RandomMechanism(seed=seed),
+                        lambda seed: PopularityMechanism()):
+            result = order_sensitivity(graph, factory, trials=8, base_seed=5)
+            assert result.best >= result.offline_optimum
+            assert result.worst_case_ratio() >= 1.0
+            assert result.stats.count == 8
+
+    def test_best_and_worst_seeds_are_reproducible(self):
+        graph = uniform_bipartite(15, 15, 0.15, seed=7)
+        a = order_sensitivity(graph, lambda seed: RandomMechanism(seed=seed),
+                              trials=6, base_seed=11)
+        b = order_sensitivity(graph, lambda seed: RandomMechanism(seed=seed),
+                              trials=6, base_seed=11)
+        assert a.stats.mean == b.stats.mean
+        assert a.best_order_seed == b.best_order_seed
+        assert a.worst_order_seed == b.worst_order_seed
+
+    def test_parameter_validation(self):
+        graph = uniform_bipartite(5, 5, 0.5, seed=1)
+        with pytest.raises(ExperimentError):
+            order_sensitivity(graph, lambda seed: NaiveMechanism(), trials=0)
+        empty = BipartiteGraph(threads=["T1"], objects=["O1"])
+        with pytest.raises(ExperimentError):
+            order_sensitivity(empty, lambda seed: NaiveMechanism())
+
+    def test_compare_runs_every_mechanism(self):
+        graph = nonuniform_bipartite(15, 15, 0.1, seed=3)
+        results = compare_order_sensitivity(
+            graph,
+            {
+                "naive": lambda seed: NaiveMechanism(),
+                "popularity": lambda seed: PopularityMechanism(),
+            },
+            trials=5,
+        )
+        assert set(results) == {"naive", "popularity"}
+        assert results["naive"].mechanism == "naive"
+        for result in results.values():
+            assert result.offline_optimum <= result.best

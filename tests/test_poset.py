@@ -1,0 +1,137 @@
+"""Unit tests for the happened-before oracle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.computation import Computation, HappenedBefore
+from repro.exceptions import ComputationError
+from tests.conftest import random_pairs
+
+
+class TestHappenedBeforeBasics:
+    def test_program_order_is_happened_before(self, small_computation):
+        hb = HappenedBefore(small_computation)
+        events = small_computation.events
+        # (A,x)@0 -> (A,shared)@2 -> (A,x)@3 within thread A.
+        assert hb.happened_before(events[0], events[2])
+        assert hb.happened_before(events[2], events[3])
+        assert hb.happened_before(events[0], events[3])  # transitive
+
+    def test_object_order_is_happened_before(self, small_computation):
+        hb = HappenedBefore(small_computation)
+        events = small_computation.events
+        # (B,shared)@1 -> (A,shared)@2 via object 'shared'.
+        assert hb.happened_before(events[1], events[2])
+        # and transitively to (A,x)@3.
+        assert hb.happened_before(events[1], events[3])
+
+    def test_concurrency(self, small_computation):
+        hb = HappenedBefore(small_computation)
+        events = small_computation.events
+        # (A,x)@0 and (B,shared)@1 share neither thread nor object history.
+        assert hb.concurrent(events[0], events[1])
+        assert not hb.happened_before(events[0], events[1])
+        assert not hb.happened_before(events[1], events[0])
+        # (B,y)@4 is after (B,shared)@1 but concurrent with A's later events.
+        assert hb.happened_before(events[1], events[4])
+        assert hb.concurrent(events[3], events[4])
+
+    def test_irreflexive(self, small_computation):
+        hb = HappenedBefore(small_computation)
+        for event in small_computation:
+            assert not hb.happened_before(event, event)
+            assert not hb.concurrent(event, event)
+
+    def test_causally_related(self, small_computation):
+        hb = HappenedBefore(small_computation)
+        events = small_computation.events
+        assert hb.causally_related(events[0], events[3])
+        assert hb.causally_related(events[3], events[0])
+        assert not hb.causally_related(events[0], events[1])
+
+    def test_foreign_event_rejected(self, small_computation):
+        hb = HappenedBefore(small_computation)
+        other = Computation.from_pairs([("Z", "q"), ("Z", "q"), ("Z", "q"),
+                                        ("Z", "q"), ("Z", "q"), ("Z", "q")])
+        with pytest.raises(ComputationError):
+            hb.happened_before(other.events[5], small_computation.events[0])
+
+
+class TestDerivedSets:
+    def test_successors_and_predecessors_are_inverse(self, medium_random_computation):
+        hb = HappenedBefore(medium_random_computation)
+        events = medium_random_computation.events
+        sample = events[:: max(1, len(events) // 15)]
+        for event in sample:
+            for successor in hb.successors(event):
+                assert event in hb.predecessors(successor)
+
+    def test_comparable_plus_concurrent_counts(self, small_computation):
+        hb = HappenedBefore(small_computation)
+        n = len(small_computation)
+        comparable = sum(1 for _ in hb.comparable_pairs())
+        concurrent = sum(1 for _ in hb.concurrent_pairs())
+        assert comparable + concurrent == n * (n - 1) // 2
+
+    def test_transitivity_on_random_computation(self, medium_random_computation):
+        hb = HappenedBefore(medium_random_computation)
+        events = medium_random_computation.events
+        sample = events[:: max(1, len(events) // 12)]
+        for a in sample:
+            for b in sample:
+                for c in sample:
+                    if hb.happened_before(a, b) and hb.happened_before(b, c):
+                        assert hb.happened_before(a, c)
+
+    def test_interleaving_is_linear_extension(self, medium_random_computation):
+        hb = HappenedBefore(medium_random_computation)
+        assert hb.is_linear_extension(medium_random_computation.events)
+        # Reversing a computation with at least one ordered pair is not one.
+        assert not hb.is_linear_extension(tuple(reversed(medium_random_computation.events)))
+
+    def test_is_linear_extension_requires_permutation(self, small_computation):
+        hb = HappenedBefore(small_computation)
+        assert not hb.is_linear_extension(small_computation.events[:-1])
+
+    def test_width_lower_bound_positive(self, medium_random_computation):
+        hb = HappenedBefore(medium_random_computation)
+        width = hb.width_lower_bound()
+        assert 1 <= width <= len(medium_random_computation)
+
+
+class TestChainsAreTotallyOrdered:
+    def test_single_thread_computation_is_a_chain(self):
+        computation = Computation.from_pairs([("A", f"O{i % 3}") for i in range(10)])
+        hb = HappenedBefore(computation)
+        events = computation.events
+        for i, a in enumerate(events):
+            for b in events[i + 1 :]:
+                assert hb.happened_before(a, b)
+
+    def test_single_object_computation_is_a_chain(self):
+        pairs = [(f"T{i % 4}", "x") for i in range(10)]
+        computation = Computation.from_pairs(pairs)
+        hb = HappenedBefore(computation)
+        events = computation.events
+        for i, a in enumerate(events):
+            for b in events[i + 1 :]:
+                assert hb.happened_before(a, b)
+
+    def test_disjoint_threads_all_concurrent(self):
+        computation = Computation.from_pairs([("A", "x"), ("B", "y"), ("C", "z")])
+        hb = HappenedBefore(computation)
+        events = computation.events
+        assert hb.concurrent(events[0], events[1])
+        assert hb.concurrent(events[1], events[2])
+        assert hb.concurrent(events[0], events[2])
+
+    def test_random_computation_consistency(self):
+        computation = Computation.from_pairs(random_pairs(5, 5, 60, seed=9))
+        hb = HappenedBefore(computation)
+        events = computation.events
+        # happened_before implies index order (the trace is a linear extension).
+        for a in events:
+            for b in events:
+                if hb.happened_before(a, b):
+                    assert a.index < b.index

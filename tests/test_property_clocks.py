@@ -1,0 +1,133 @@
+"""Property-based tests (hypothesis) for the clock protocols.
+
+The single most important invariant in the library is Theorem 2 of the
+paper: for every pair of distinct events of a computation,
+``s → t ⇔ s.v < t.v``.  These tests generate random computations and check
+that equivalence for every clock flavour: thread-based, object-based, mixed
+(over the optimal cover and over arbitrary valid covers), the online
+mechanisms' growing clocks, and the chain-clock baseline.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import ChainClock
+from repro.computation import Computation, HappenedBefore
+from repro.core import (
+    timestamp_with_mixed_clock,
+    timestamp_with_object_clock,
+    timestamp_with_thread_clock,
+)
+from repro.offline import optimal_components_for_computation, timestamp_offline
+from repro.online import (
+    NaiveMechanism,
+    OnlineClockProtocol,
+    PopularityMechanism,
+    RandomMechanism,
+)
+from tests.conftest import assert_valid_vector_clock
+
+# Random computations: up to 5 threads, 5 objects, 30 events.
+pair_lists = st.lists(
+    st.tuples(
+        st.sampled_from(["T0", "T1", "T2", "T3", "T4"]),
+        st.sampled_from(["O0", "O1", "O2", "O3", "O4"]),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+SETTINGS = settings(max_examples=40, deadline=None)
+
+
+@st.composite
+def computations(draw):
+    return Computation.from_pairs(draw(pair_lists))
+
+
+@SETTINGS
+@given(computations())
+def test_thread_clock_satisfies_theorem2(computation):
+    stamped = timestamp_with_thread_clock(computation)
+    assert_valid_vector_clock(computation, stamped.timestamp)
+
+
+@SETTINGS
+@given(computations())
+def test_object_clock_satisfies_theorem2(computation):
+    stamped = timestamp_with_object_clock(computation)
+    assert_valid_vector_clock(computation, stamped.timestamp)
+
+
+@SETTINGS
+@given(computations())
+def test_optimal_mixed_clock_satisfies_theorem2(computation):
+    stamped = timestamp_offline(computation)
+    assert_valid_vector_clock(computation, stamped.timestamp)
+    # Optimality bound of the paper: never more than min(n, m) components.
+    assert stamped.clock_size <= min(computation.num_threads, computation.num_objects)
+
+
+@SETTINGS
+@given(computations(), st.randoms(use_true_random=False))
+def test_arbitrary_vertex_cover_clock_satisfies_theorem2(computation, rng):
+    """Any vertex cover (not just the minimum one) yields a valid clock."""
+    graph = computation.bipartite_graph()
+    # Build a random cover: for each edge pick one endpoint, then add noise.
+    cover = set()
+    for thread, obj in graph.edges():
+        cover.add(thread if rng.random() < 0.5 else obj)
+    stamped = timestamp_with_mixed_clock(computation, cover, graph=graph)
+    assert_valid_vector_clock(computation, stamped.timestamp)
+
+
+@SETTINGS
+@given(computations(), st.sampled_from(["naive", "naive-object", "random", "popularity"]))
+def test_online_growing_clock_satisfies_theorem2(computation, mechanism_name):
+    mechanism = {
+        "naive": lambda: NaiveMechanism(),
+        "naive-object": lambda: NaiveMechanism(side="object"),
+        "random": lambda: RandomMechanism(seed=12345),
+        "popularity": lambda: PopularityMechanism(),
+    }[mechanism_name]()
+    protocol = OnlineClockProtocol(mechanism)
+    protocol.timestamp_computation(computation)
+    assert_valid_vector_clock(computation, protocol.timestamp)
+
+
+@SETTINGS
+@given(computations())
+def test_chain_clock_satisfies_theorem2(computation):
+    result = ChainClock().run(computation)
+    assert_valid_vector_clock(computation, lambda event: result.timestamps[event])
+
+
+@SETTINGS
+@given(computations())
+def test_all_clock_flavours_agree_on_concurrency(computation):
+    """Different valid clocks must induce exactly the same relation."""
+    oracle = HappenedBefore(computation)
+    thread_stamped = timestamp_with_thread_clock(computation)
+    mixed_stamped = timestamp_offline(computation)
+    for a in computation:
+        for b in computation:
+            if a == b:
+                continue
+            expected = oracle.concurrent(a, b)
+            assert thread_stamped.concurrent(a, b) == expected
+            assert mixed_stamped.concurrent(a, b) == expected
+
+
+@SETTINGS
+@given(computations())
+def test_offline_components_are_a_cover_and_optimal(computation):
+    result = optimal_components_for_computation(computation)
+    graph = computation.bipartite_graph()
+    result.components.validate_covers_graph(graph)
+    # König-Egerváry: cover size equals maximum matching size.
+    assert result.clock_size == len(result.matching)
+    # No vertex cover can be smaller than a matching (weak duality), so any
+    # other valid clock the library can build is at least as large.
+    assert result.clock_size <= computation.num_threads
+    assert result.clock_size <= computation.num_objects

@@ -1,0 +1,109 @@
+"""Property-based tests (hypothesis) for matchings and vertex covers."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import (
+    BipartiteGraph,
+    augmenting_path_matching,
+    hopcroft_karp_matching,
+    is_maximum_matching,
+    is_vertex_cover,
+    konig_vertex_cover,
+    minimum_vertex_cover,
+    validate_matching,
+)
+from repro.graph.vertex_cover import brute_force_vertex_cover
+from repro.online import NaiveMechanism, PopularityMechanism, RandomMechanism
+from repro.online.simulator import run_mechanism
+
+SETTINGS = settings(max_examples=50, deadline=None)
+
+edge_lists = st.lists(
+    st.tuples(
+        st.sampled_from(["T0", "T1", "T2", "T3", "T4", "T5"]),
+        st.sampled_from(["O0", "O1", "O2", "O3", "O4", "O5"]),
+    ),
+    min_size=0,
+    max_size=20,
+    unique=True,
+)
+
+small_edge_lists = st.lists(
+    st.tuples(
+        st.sampled_from(["T0", "T1", "T2", "T3"]),
+        st.sampled_from(["O0", "O1", "O2", "O3"]),
+    ),
+    min_size=0,
+    max_size=8,
+    unique=True,
+)
+
+
+@SETTINGS
+@given(edge_lists)
+def test_hopcroft_karp_is_a_maximum_matching(edges):
+    graph = BipartiteGraph(edges=edges)
+    matching = hopcroft_karp_matching(graph)
+    validate_matching(graph, matching)
+    assert is_maximum_matching(graph, matching)
+
+
+@SETTINGS
+@given(edge_lists)
+def test_hopcroft_karp_agrees_with_augmenting_path(edges):
+    graph = BipartiteGraph(edges=edges)
+    assert len(hopcroft_karp_matching(graph)) == len(augmenting_path_matching(graph))
+
+
+@SETTINGS
+@given(edge_lists)
+def test_konig_cover_is_a_cover_of_matching_size(edges):
+    graph = BipartiteGraph(edges=edges)
+    matching = hopcroft_karp_matching(graph)
+    cover = konig_vertex_cover(graph, matching)
+    assert is_vertex_cover(graph, cover)
+    assert len(cover) == len(matching)
+
+
+@SETTINGS
+@given(small_edge_lists)
+def test_konig_cover_is_minimum(edges):
+    graph = BipartiteGraph(edges=edges)
+    cover = minimum_vertex_cover(graph)
+    assert len(cover) == len(brute_force_vertex_cover(graph))
+
+
+@SETTINGS
+@given(edge_lists)
+def test_cover_never_exceeds_either_side(edges):
+    graph = BipartiteGraph(edges=edges)
+    if graph.num_edges == 0:
+        return
+    cover = minimum_vertex_cover(graph)
+    assert len(cover) <= graph.num_threads
+    assert len(cover) <= graph.num_objects
+
+
+@SETTINGS
+@given(edge_lists, st.integers(min_value=0, max_value=2**16))
+def test_online_mechanisms_always_produce_a_cover(edges, seed):
+    """Whatever the reveal order, the grown component set covers all edges
+    and is never smaller than the offline optimum (weak duality)."""
+    graph = BipartiteGraph(edges=edges)
+    if graph.num_edges == 0:
+        return
+    optimum = len(minimum_vertex_cover(graph))
+    order = list(edges)
+    for mechanism in (NaiveMechanism(), RandomMechanism(seed=seed), PopularityMechanism()):
+        result = run_mechanism(mechanism, order)
+        components = mechanism.components()
+        components.validate_covers_graph(graph)
+        assert result.final_size >= optimum
+        # Naive-thread can never exceed the thread count; no mechanism can
+        # exceed the total number of vertices it has seen.
+        assert result.final_size <= graph.num_vertices
+    naive = NaiveMechanism()
+    run_mechanism(naive, order)
+    assert naive.clock_size <= graph.num_threads

@@ -1,0 +1,95 @@
+"""Unit tests for the JSON trace serialization."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.computation import Computation, producer_consumer_trace
+from repro.computation.serialization import (
+    FORMAT_NAME,
+    FORMAT_VERSION,
+    computation_from_dict,
+    computation_to_dict,
+    dump_computation,
+    dumps_computation,
+    load_computation,
+    loads_computation,
+)
+from repro.exceptions import ComputationError
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self, small_computation):
+        data = computation_to_dict(small_computation)
+        assert data["format"] == FORMAT_NAME
+        assert data["version"] == FORMAT_VERSION
+        assert len(data["events"]) == small_computation.num_events
+        rebuilt = computation_from_dict(data)
+        assert rebuilt == small_computation
+
+    def test_text_round_trip_preserves_labels_and_kinds(self):
+        trace = producer_consumer_trace(num_producers=2, num_consumers=2,
+                                        items_per_producer=3, seed=5)
+        rebuilt = loads_computation(dumps_computation(trace))
+        assert rebuilt == trace
+        assert [e.label for e in rebuilt] == [e.label for e in trace]
+        assert [e.is_write for e in rebuilt] == [e.is_write for e in trace]
+
+    def test_file_round_trip(self, tmp_path, small_computation):
+        path = tmp_path / "trace.json"
+        dump_computation(small_computation, path)
+        assert load_computation(path) == small_computation
+        # The file is plain, pretty-printed JSON.
+        document = json.loads(path.read_text())
+        assert document["format"] == FORMAT_NAME
+
+    def test_stream_round_trip(self, small_computation):
+        buffer = io.StringIO()
+        dump_computation(small_computation, buffer)
+        buffer.seek(0)
+        assert load_computation(buffer) == small_computation
+
+    def test_integer_identifiers_round_trip(self):
+        trace = Computation.from_pairs([(1, 10), (2, 10), (1, 11)])
+        assert loads_computation(dumps_computation(trace)) == trace
+
+
+class TestValidation:
+    def test_rejects_wrong_format(self):
+        with pytest.raises(ComputationError):
+            computation_from_dict({"format": "something-else", "version": 1, "events": []})
+
+    def test_rejects_wrong_version(self):
+        with pytest.raises(ComputationError):
+            computation_from_dict({"format": FORMAT_NAME, "version": 99, "events": []})
+
+    def test_rejects_non_object_document(self):
+        with pytest.raises(ComputationError):
+            computation_from_dict(["not", "an", "object"])
+
+    def test_rejects_missing_events(self):
+        with pytest.raises(ComputationError):
+            computation_from_dict({"format": FORMAT_NAME, "version": FORMAT_VERSION})
+
+    def test_rejects_malformed_event(self):
+        with pytest.raises(ComputationError):
+            computation_from_dict(
+                {"format": FORMAT_NAME, "version": FORMAT_VERSION, "events": [{"thread": "A"}]}
+            )
+
+    def test_rejects_invalid_json_text(self):
+        with pytest.raises(ComputationError):
+            loads_computation("{not json")
+
+    def test_rejects_invalid_json_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{broken")
+        with pytest.raises(ComputationError):
+            load_computation(path)
+
+    def test_empty_trace_round_trips(self):
+        empty = Computation.from_pairs([])
+        assert loads_computation(dumps_computation(empty)) == empty

@@ -1,0 +1,149 @@
+"""Unit tests for consistent cuts, recovery lines and checkpoints."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.computation import Computation, HappenedBefore, random_trace
+from repro.exceptions import ComputationError
+from repro.offline import timestamp_offline
+from repro.runtime.snapshots import (
+    CheckpointManager,
+    causal_past_cut,
+    frontier_of,
+    is_consistent_cut,
+    latest_consistent_cut,
+)
+from tests.conftest import random_pairs
+
+
+def brute_force_is_consistent(computation, cut):
+    """Oracle: a cut is consistent iff it is closed under full happened-before."""
+    oracle = HappenedBefore(computation)
+    cut = set(cut)
+    return all(
+        predecessor in cut
+        for event in cut
+        for predecessor in oracle.predecessors(event)
+    )
+
+
+class TestConsistencyPredicate:
+    def test_empty_and_full_cuts_are_consistent(self, small_computation):
+        assert is_consistent_cut(small_computation, [])
+        assert is_consistent_cut(small_computation, small_computation.events)
+
+    def test_prefix_of_interleaving_is_consistent(self, small_computation):
+        # The interleaving order is a linear extension, so every prefix is a cut.
+        for length in range(len(small_computation) + 1):
+            assert is_consistent_cut(small_computation, small_computation.events[:length])
+
+    def test_missing_predecessor_is_detected(self, small_computation):
+        events = small_computation.events
+        # events[2] = (A, shared) has predecessors (A,x)@0 and (B,shared)@1.
+        assert not is_consistent_cut(small_computation, [events[2]])
+        assert not is_consistent_cut(small_computation, [events[0], events[2]])
+        assert is_consistent_cut(small_computation, [events[0], events[1], events[2]])
+
+    def test_agrees_with_brute_force_on_random_subsets(self):
+        import random as random_module
+
+        computation = Computation.from_pairs(random_pairs(4, 4, 30, seed=13))
+        rng = random_module.Random(7)
+        for _ in range(25):
+            subset = [e for e in computation if rng.random() < 0.4]
+            assert is_consistent_cut(computation, subset) == brute_force_is_consistent(
+                computation, subset
+            )
+
+
+class TestCausalPastCut:
+    def test_is_smallest_consistent_superset(self, small_computation):
+        oracle = HappenedBefore(small_computation)
+        for event in small_computation:
+            cut = causal_past_cut(small_computation, [event])
+            assert event in cut
+            assert is_consistent_cut(small_computation, cut)
+            # Smallest: it is exactly {event} union its causal past.
+            assert cut == frozenset({event}) | oracle.predecessors(event)
+
+    def test_multiple_targets(self, medium_random_computation):
+        events = medium_random_computation.events
+        targets = [events[10], events[40], events[80]]
+        cut = causal_past_cut(medium_random_computation, targets)
+        assert is_consistent_cut(medium_random_computation, cut)
+        assert set(targets) <= cut
+
+    def test_foreign_event_rejected(self, small_computation):
+        foreign = Computation.from_pairs([("Z", "q"), ("Z", "q"), ("Z", "q"),
+                                          ("Z", "q"), ("Z", "q"), ("Z", "q")])
+        with pytest.raises(ComputationError):
+            causal_past_cut(small_computation, [foreign.events[5]])
+
+
+class TestRecoveryLine:
+    def test_within_limits_and_consistent(self):
+        trace = random_trace(5, 6, 80, seed=23)
+        limits = {thread: len(trace.thread_events(thread)) // 2 for thread in trace.threads}
+        cut = latest_consistent_cut(trace, limits)
+        assert is_consistent_cut(trace, cut)
+        per_thread = frontier_of(cut)
+        for thread, frontier_event in per_thread.items():
+            assert frontier_event.thread_seq + 1 <= limits[thread]
+
+    def test_is_largest_among_prefix_cuts(self):
+        trace = random_trace(4, 5, 50, seed=29)
+        limits = {thread: max(0, len(trace.thread_events(thread)) - 2) for thread in trace.threads}
+        cut = latest_consistent_cut(trace, limits)
+        # Adding back the next event of any thread must break consistency or
+        # exceed that thread's limit - otherwise the cut was not maximal.
+        kept = {thread: 0 for thread in trace.threads}
+        for event in cut:
+            kept[event.thread] = max(kept[event.thread], event.thread_seq + 1)
+        for thread in trace.threads:
+            position = kept[thread]
+            if position >= limits[thread]:
+                continue
+            extra = trace.thread_events(thread)[position]
+            assert not is_consistent_cut(trace, set(cut) | {extra})
+
+    def test_full_limits_give_everything(self, small_computation):
+        limits = {t: len(small_computation.thread_events(t)) for t in small_computation.threads}
+        assert latest_consistent_cut(small_computation, limits) == frozenset(
+            small_computation.events
+        )
+
+    def test_zero_limits_give_empty_cut(self, small_computation):
+        assert latest_consistent_cut(small_computation, {}) == frozenset()
+
+    def test_negative_limit_rejected(self, small_computation):
+        with pytest.raises(ComputationError):
+            latest_consistent_cut(small_computation, {"A": -1})
+
+
+class TestCheckpointManager:
+    def test_checkpoints_and_recovery_line(self):
+        trace = random_trace(4, 4, 60, seed=17)
+        stamped = timestamp_offline(trace)
+        manager = CheckpointManager(stamped)
+        for thread in trace.threads:
+            manager.take_checkpoint(thread, len(trace.thread_events(thread)) // 2)
+        line = manager.recovery_line()
+        assert is_consistent_cut(trace, line)
+        work = manager.rollback_work()
+        assert set(work) == set(trace.threads)
+        assert all(amount >= 0 for amount in work.values())
+
+    def test_checkpoint_timestamps_recorded(self, small_computation):
+        stamped = timestamp_offline(small_computation)
+        manager = CheckpointManager(stamped)
+        checkpoint = manager.take_checkpoint("A", 2)
+        assert checkpoint.timestamp == stamped[small_computation.thread_events("A")[1]]
+        empty = manager.take_checkpoint("B", 0)
+        assert empty.timestamp is None
+        assert set(manager.checkpoints) == {"A", "B"}
+
+    def test_out_of_range_checkpoint_rejected(self, small_computation):
+        manager = CheckpointManager(timestamp_offline(small_computation))
+        with pytest.raises(ComputationError):
+            manager.take_checkpoint("A", 99)
