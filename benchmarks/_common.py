@@ -2,20 +2,50 @@
 
 Kept outside ``conftest.py`` so benchmark modules can import them directly
 (``from _common import ...``) regardless of how pytest was invoked.
+
+Smoke mode
+----------
+Passing ``--smoke`` (or setting ``BENCH_SMOKE=1``) shrinks every sweep to
+a few points and trials.  The shrunken runs keep the reference x-values
+the shape assertions index into (density 0.05, 50 nodes per side), so the
+benchmarks still *exercise* the full harness - they just stop being
+statistically meaningful.  CI runs the suite this way to catch perf
+harness breakage (import errors, fixture drift, API changes) without
+paying for the real sweeps.  The flag is read at import time because the
+sweep constants parametrise tests during collection.
 """
 
 from __future__ import annotations
 
+import os
+import sys
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
-#: Densities swept in Figs. 4 and 6.
-FIG4_DENSITIES = [0.01, 0.02, 0.05, 0.10, 0.15, 0.20, 0.30, 0.40, 0.50]
-#: Node counts (per side) swept in Figs. 5 and 7.
-FIG5_NODE_COUNTS = [10, 30, 50, 70, 90, 110, 130, 150]
-#: Trials averaged per data point.
-TRIALS = 3
+#: True when the harness should run a fast smoke pass (see module docstring).
+SMOKE = "--smoke" in sys.argv or os.environ.get("BENCH_SMOKE", "") == "1"
+
+if SMOKE:
+    FIG4_DENSITIES = [0.01, 0.05, 0.5]
+    FIG5_NODE_COUNTS = [10, 50, 70]
+    TRIALS = 2
+    MATCHING_SIZES = [50, 100]
+    CHAIN_VERTICES = 2_000
+else:
+    #: Densities swept in Figs. 4 and 6.
+    FIG4_DENSITIES = [0.01, 0.02, 0.05, 0.10, 0.15, 0.20, 0.30, 0.40, 0.50]
+    #: Node counts (per side) swept in Figs. 5 and 7.
+    FIG5_NODE_COUNTS = [10, 30, 50, 70, 90, 110, 130, 150]
+    #: Trials averaged per data point.
+    TRIALS = 3
+    #: Nodes per side in the matching-scaling benchmark.
+    MATCHING_SIZES = [50, 100, 200, 400]
+    #: Total vertices in the chain-graph stress variant (E5).  Chains force
+    #: ``O(V)``-hop augmenting paths; this size used to be unreachable with
+    #: the recursive matchers.
+    CHAIN_VERTICES = 10_000
+
 #: Nodes per side in the density sweeps (the paper uses 50 threads / 50 objects).
 FIG4_NODES = 50
 #: Fixed density in the node-count sweeps.

@@ -26,6 +26,21 @@ sys.path.insert(0, str(Path(__file__).parent))
 from _common import write_result  # noqa: E402
 
 
+def pytest_addoption(parser):
+    """Register ``--smoke``: shrink every sweep for a fast CI smoke pass.
+
+    The flag itself is read by ``_common.py`` at import time (the sweep
+    constants parametrise tests during collection); registering it here
+    just keeps pytest from rejecting the unknown option.
+    """
+    parser.addoption(
+        "--smoke",
+        action="store_true",
+        default=False,
+        help="run shrunken benchmark sweeps (harness smoke test)",
+    )
+
+
 @pytest.fixture
 def record_table():
     """Fixture handing benchmarks the :func:`_common.write_result` helper."""

@@ -48,6 +48,7 @@ from repro.core import (
     timestamp_with_thread_clock,
 )
 from repro.exceptions import (
+    AmbiguousTimestampError,
     ClockError,
     ComponentError,
     ComputationError,
@@ -83,6 +84,7 @@ from repro.online import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AmbiguousTimestampError",
     "BipartiteGraph",
     "ClockComponents",
     "ClockError",

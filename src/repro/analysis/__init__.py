@@ -5,12 +5,14 @@ from repro.analysis.experiments import (
     PAPER_MECHANISMS,
     SweepPoint,
     SweepResult,
+    competitive_ratio_over_time,
     density_sweep,
     node_sweep,
     scenario_comparison,
 )
 from repro.analysis.metrics import (
     SummaryStats,
+    competitive_ratio_trajectory,
     crossover_point,
     relative_reduction,
     summarize,
@@ -30,6 +32,8 @@ __all__ = [
     "SummaryStats",
     "SweepPoint",
     "SweepResult",
+    "competitive_ratio_over_time",
+    "competitive_ratio_trajectory",
     "crossover_point",
     "density_sweep",
     "format_comparison_table",

@@ -22,7 +22,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.analysis.metrics import SummaryStats, summarize
+from repro.analysis.metrics import (
+    SummaryStats,
+    competitive_ratio_trajectory,
+    summarize,
+)
 from repro.computation.trace import Computation
 from repro.exceptions import ExperimentError
 from repro.graph.bipartite import BipartiteGraph
@@ -33,7 +37,7 @@ from repro.online.hybrid import HybridMechanism
 from repro.online.naive import NaiveMechanism
 from repro.online.popularity import PopularityMechanism
 from repro.online.random_choice import RandomMechanism
-from repro.online.simulator import reveal_order, run_mechanism
+from repro.online.simulator import compare_mechanisms, reveal_order, run_mechanism
 
 MechanismFactory = Callable[[int], OnlineMechanism]
 GraphFactory = Callable[[int], BipartiteGraph]
@@ -245,6 +249,33 @@ def scenario_comparison(
             row[label] = result.final_size
         table[name] = row
     return table
+
+
+def competitive_ratio_over_time(
+    graph: BipartiteGraph,
+    mechanisms: Optional[Mapping[str, MechanismFactory]] = None,
+    seed: int = 2019,
+) -> Dict[str, List[float]]:
+    """Per-event competitive ratio of each mechanism on one reveal order.
+
+    Runs every mechanism and the incremental offline optimum on the same
+    reveal order of ``graph`` and returns, per mechanism, the pointwise
+    ratio of its clock-size trajectory to the optimum trajectory (see
+    :func:`~repro.analysis.metrics.competitive_ratio_trajectory`).  This
+    is the new over-time view of the Figs. 6-7 comparison: it shows *when*
+    during a run each mechanism commits to components the optimum avoids,
+    not just the final gap.
+    """
+    chosen = dict(mechanisms or PAPER_MECHANISMS)
+    factories = {
+        label: (lambda factory=factory: factory(seed)) for label, factory in chosen.items()
+    }
+    results = compare_mechanisms(graph, factories, seed=seed, include_offline=True)
+    offline_sizes = results["offline"].size_trajectory
+    return {
+        label: competitive_ratio_trajectory(results[label].size_trajectory, offline_sizes)
+        for label in chosen
+    }
 
 
 def _scenario_generator(scenario: str):

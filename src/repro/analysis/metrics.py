@@ -83,6 +83,28 @@ def relative_reduction(baseline: float, improved: float) -> float:
     return (baseline - improved) / baseline
 
 
+def competitive_ratio_trajectory(
+    online_sizes: Sequence[float], offline_sizes: Sequence[float]
+) -> List[float]:
+    """Pointwise ratio of an online clock-size trajectory to the optimum.
+
+    ``result[i] = online_sizes[i] / offline_sizes[i]`` - how far above the
+    per-event offline optimum a mechanism sits after the ``i``-th revealed
+    event.  This is the competitive-ratio-over-time series enabled by the
+    incremental optimum trajectory (Figs. 6-7 extension); the paper's
+    single competitive-ratio number is ``result[-1]``.
+
+    A zero optimum (possible only before any edge is revealed) is treated
+    as ratio ``1.0``: both sizes are necessarily zero there.
+    """
+    if len(online_sizes) != len(offline_sizes):
+        raise ValueError("online and offline trajectories must have equal length")
+    return [
+        online / offline if offline else 1.0
+        for online, offline in zip(online_sizes, offline_sizes)
+    ]
+
+
 def crossover_point(
     xs: Sequence[float], series_a: Sequence[float], series_b: Sequence[float]
 ) -> float:

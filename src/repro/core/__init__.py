@@ -11,6 +11,7 @@ concrete clock families of the paper are exposed through small modules:
 
 from repro.core.clock import Timestamp, ordering
 from repro.core.components import ClockComponents
+from repro.core.kernel import ClockKernel
 from repro.core.encoding import (
     DeltaDecoder,
     DeltaEncoder,
@@ -41,6 +42,7 @@ from repro.core.timestamping import (
 
 __all__ = [
     "ClockComponents",
+    "ClockKernel",
     "DeltaDecoder",
     "DeltaEncoder",
     "apply_delta",

@@ -58,6 +58,22 @@ class Timestamp:
         return cls(components)
 
     @classmethod
+    def _from_trusted(
+        cls, components: ClockComponents, values: Tuple[int, ...]
+    ) -> "Timestamp":
+        """Build a timestamp from an already-validated value tuple.
+
+        Internal fast path for :class:`~repro.core.kernel.ClockKernel` and
+        the derivation methods below: ``values`` must be a tuple of
+        ``components.size`` non-negative ints.  Skipping the constructor's
+        per-slot re-validation is what makes per-event timestamping cheap.
+        """
+        stamp = object.__new__(cls)
+        stamp._components = components
+        stamp._values = values
+        return stamp
+
+    @classmethod
     def from_mapping(
         cls, components: ClockComponents, mapping: Mapping[Vertex, int]
     ) -> "Timestamp":
@@ -108,9 +124,8 @@ class Timestamp:
     def merged(self, other: "Timestamp") -> "Timestamp":
         """Component-wise maximum (the ``max(p.v, q.v)`` of the update rules)."""
         self._check_compatible(other)
-        return Timestamp(
-            self._components,
-            tuple(max(a, b) for a, b in zip(self._values, other._values)),
+        return Timestamp._from_trusted(
+            self._components, tuple(map(max, self._values, other._values))
         )
 
     def incremented(self, component: Vertex, amount: int = 1) -> "Timestamp":
@@ -119,8 +134,10 @@ class Timestamp:
             raise ClockError("increment amount must be positive")
         index = self._components.index_of(component)
         values = list(self._values)
-        values[index] += amount
-        return Timestamp(self._components, values)
+        # int() mirrors the validating constructor this method used to go
+        # through, so non-int amounts cannot smuggle float slots in.
+        values[index] += int(amount)
+        return Timestamp._from_trusted(self._components, tuple(values))
 
     # ------------------------------------------------------------------
     # Order

@@ -33,8 +33,8 @@ from repro.computation.event import Event, ObjectId, ThreadId
 from repro.computation.trace import Computation
 from repro.core.clock import Timestamp, ordering
 from repro.core.components import ClockComponents
-from repro.exceptions import ClockError, ComponentError
-from repro.graph.bipartite import Vertex
+from repro.core.kernel import ClockKernel
+from repro.exceptions import AmbiguousTimestampError, ClockError
 
 
 class VectorClockProtocol:
@@ -57,9 +57,7 @@ class VectorClockProtocol:
     def __init__(self, components: ClockComponents, strict: bool = True) -> None:
         self._components = components
         self._strict = strict
-        self._zero = Timestamp.zero(components)
-        self._thread_clocks: Dict[ThreadId, Timestamp] = {}
-        self._object_clocks: Dict[ObjectId, Timestamp] = {}
+        self._kernel = ClockKernel(components, strict=strict)
         self._events_observed = 0
 
     # ------------------------------------------------------------------
@@ -80,30 +78,18 @@ class VectorClockProtocol:
 
     def thread_clock(self, thread: ThreadId) -> Timestamp:
         """Current clock of ``thread`` (zero if it has not acted yet)."""
-        return self._thread_clocks.get(thread, self._zero)
+        return self._kernel.thread_stamp(thread)
 
     def object_clock(self, obj: ObjectId) -> Timestamp:
         """Current clock of ``obj`` (zero if it has not been accessed yet)."""
-        return self._object_clocks.get(obj, self._zero)
+        return self._kernel.object_stamp(obj)
 
     # ------------------------------------------------------------------
     # The update rule
     # ------------------------------------------------------------------
     def observe(self, thread: ThreadId, obj: ObjectId) -> Timestamp:
         """Apply the update rule for one operation and return its timestamp."""
-        covered = self._components.covers_pair(thread, obj)
-        if not covered and self._strict:
-            raise ComponentError(
-                f"operation ({thread!r}, {obj!r}) is not covered by the clock components"
-            )
-        merged = self.thread_clock(thread).merged(self.object_clock(obj))
-        stamped = merged
-        if obj in self._components.object_components:
-            stamped = stamped.incremented(obj)
-        if thread in self._components.thread_components:
-            stamped = stamped.incremented(thread)
-        self._thread_clocks[thread] = stamped
-        self._object_clocks[obj] = stamped
+        stamped = self._kernel.observe(thread, obj)
         self._events_observed += 1
         return stamped
 
@@ -119,20 +105,29 @@ class VectorClockProtocol:
 
         The protocol instance must be fresh (no events observed yet);
         reusing one across computations would leak causality between them.
+
+        This is the batch hot path: it drives the
+        :class:`~repro.core.kernel.ClockKernel` directly, avoiding the
+        per-event method dispatch and bookkeeping of :meth:`observe`.
         """
         if self._events_observed:
             raise ClockError(
                 "protocol has already observed events; use a fresh instance"
             )
-        timestamps: Dict[Event, Timestamp] = {}
-        for event in computation:
-            timestamps[event] = self.observe_event(event)
+        # Mark the protocol used *before* iterating: a ComponentError on an
+        # uncovered event mid-computation leaves the kernel dirty, and the
+        # fresh-instance guard above must keep refusing reuse (reset() is
+        # the recovery path).
+        self._events_observed = len(computation)
+        observe = self._kernel.observe
+        timestamps: Dict[Event, Timestamp] = {
+            event: observe(event.thread, event.obj) for event in computation
+        }
         return TimestampedComputation(computation, self._components, timestamps)
 
     def reset(self) -> None:
         """Forget all state so the protocol can be reused from scratch."""
-        self._thread_clocks.clear()
-        self._object_clocks.clear()
+        self._kernel.reset()
         self._events_observed = 0
 
 
@@ -188,19 +183,58 @@ class TimestampedComputation:
         return len(self._computation)
 
     # -- causality from timestamps ----------------------------------------
+    def _distinguishable_stamps(
+        self, a: Event, b: Event
+    ) -> Tuple[Timestamp, Timestamp]:
+        """The two timestamps, raising unless they can be compared.
+
+        Two *distinct* events carrying *identical* timestamps cannot be
+        ordered: a valid (covering) protocol increments at least one slot
+        per event, so this only happens when the protocol ran with
+        ``strict=False`` and left some events uncovered.  Answering
+        ``"equal"`` for different events would silently corrupt causality
+        queries, so every query path surfaces the condition as
+        :class:`AmbiguousTimestampError` instead.
+        """
+        stamp_a = self.timestamp(a)
+        stamp_b = self.timestamp(b)
+        if stamp_a == stamp_b and a != b:
+            raise AmbiguousTimestampError(
+                f"events {a} and {b} carry identical timestamps "
+                f"{stamp_a!r}; they were not covered by the clock "
+                f"components (protocol ran with strict=False), so their "
+                f"causal order cannot be recovered from timestamps"
+            )
+        return stamp_a, stamp_b
+
     def happened_before(self, earlier: Event, later: Event) -> bool:
-        """``True`` iff the timestamps say ``earlier → later``."""
-        return self.timestamp(earlier) < self.timestamp(later)
+        """``True`` iff the timestamps say ``earlier → later``.
+
+        Raises :class:`AmbiguousTimestampError` if the two events are
+        distinct but carry identical (uncovered) timestamps.
+        """
+        stamp_earlier, stamp_later = self._distinguishable_stamps(earlier, later)
+        return stamp_earlier < stamp_later
 
     def concurrent(self, a: Event, b: Event) -> bool:
-        """``True`` iff the timestamps say ``a ∥ b``."""
+        """``True`` iff the timestamps say ``a ∥ b``.
+
+        Raises :class:`AmbiguousTimestampError` if the two events are
+        distinct but carry identical (uncovered) timestamps.
+        """
         if a == b:
             return False
-        return self.timestamp(a).concurrent_with(self.timestamp(b))
+        stamp_a, stamp_b = self._distinguishable_stamps(a, b)
+        return stamp_a.concurrent_with(stamp_b)
 
     def relation(self, a: Event, b: Event) -> str:
-        """One of ``"before"``, ``"after"``, ``"concurrent"``, ``"equal"``."""
-        return ordering(self.timestamp(a), self.timestamp(b))
+        """One of ``"before"``, ``"after"``, ``"concurrent"``, ``"equal"``.
+
+        ``"equal"`` is only ever answered for the *same* event passed
+        twice; distinct events with identical timestamps raise
+        :class:`AmbiguousTimestampError` (see :meth:`happened_before`).
+        """
+        return ordering(*self._distinguishable_stamps(a, b))
 
     # -- reporting ----------------------------------------------------------
     def storage_cost(self) -> int:

@@ -60,6 +60,16 @@ class ComponentError(ClockError):
     """Raised when a component set does not cover a computation."""
 
 
+class AmbiguousTimestampError(ClockError):
+    """Raised when two distinct events carry identical timestamps.
+
+    This only happens when a protocol ran with ``strict=False`` and left
+    events uncovered (merge-only, no increment): the timestamps of such
+    events cannot answer causality queries, and pretending the events are
+    "equal" would be silently wrong.
+    """
+
+
 class OnlineMechanismError(ReproError):
     """Raised when an online mechanism is misused (e.g. reused across runs)."""
 

@@ -6,6 +6,10 @@ This subpackage contains everything combinatorial the paper relies on:
   bipartite graph of a computation (Section III-A).
 * :func:`~repro.graph.matching.hopcroft_karp_matching` and friends -
   maximum bipartite matching (Section III-B, citing Hopcroft-Karp).
+* :class:`~repro.graph.incremental.IncrementalMatching` - maximum matching
+  maintained across edge insertions (one anchored augmenting-path search
+  per insert), powering the per-event offline-optimum trajectory of the
+  online evaluation.
 * :func:`~repro.graph.vertex_cover.konig_vertex_cover` - Algorithm 1, the
   König-Egerváry construction of a minimum vertex cover from a maximum
   matching.
@@ -25,6 +29,7 @@ from repro.graph.io import (
 )
 from repro.graph.generators import (
     GraphSpec,
+    chain_bipartite,
     clustered_bipartite,
     complete_bipartite,
     graph_from_edges,
@@ -35,6 +40,10 @@ from repro.graph.generators import (
     star_bipartite,
     thread_names,
     uniform_bipartite,
+)
+from repro.graph.incremental import (
+    IncrementalMatching,
+    incremental_optimum_trajectory,
 )
 from repro.graph.matching import (
     Matching,
@@ -57,11 +66,13 @@ from repro.graph.vertex_cover import (
 __all__ = [
     "BipartiteGraph",
     "GraphSpec",
+    "IncrementalMatching",
     "Matching",
     "alternating_reachable",
     "augmenting_path_matching",
     "brute_force_matching",
     "brute_force_vertex_cover",
+    "chain_bipartite",
     "clustered_bipartite",
     "complete_bipartite",
     "dump_edge_list",
@@ -70,6 +81,7 @@ __all__ = [
     "graph_from_edges",
     "graph_to_dict",
     "hopcroft_karp_matching",
+    "incremental_optimum_trajectory",
     "is_maximum_matching",
     "is_vertex_cover",
     "konig_vertex_cover",

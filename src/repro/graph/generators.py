@@ -297,6 +297,28 @@ def star_bipartite(num_threads: int, num_objects: int, center_is_thread: bool = 
     return graph
 
 
+def chain_bipartite(num_vertices: int) -> BipartiteGraph:
+    """A chain (path) graph alternating threads and objects.
+
+    The path is ``T0 - O0 - T1 - O1 - ...`` with ``num_vertices`` vertices
+    in total, so threads and objects split the count as evenly as possible
+    and there are ``num_vertices - 1`` edges.  The maximum matching has
+    size ``num_vertices // 2``.
+
+    Chains are the worst case for augmenting-path length (a single path of
+    ``O(V)`` hops), which makes this the stress scenario for the matchers'
+    stack depth and for the matching-scaling benchmark.
+    """
+    if num_vertices < 2:
+        raise ValueError("chain_bipartite needs at least 2 vertices")
+    graph = BipartiteGraph()
+    for i in range(num_vertices - 1):
+        # Vertex i and i+1 are adjacent; even positions are threads.
+        thread_pos, object_pos = (i, i + 1) if i % 2 == 0 else (i + 1, i)
+        graph.add_edge(f"T{thread_pos // 2}", f"O{object_pos // 2}")
+    return graph
+
+
 def graph_from_edges(edges: Iterable[Tuple[str, str]]) -> BipartiteGraph:
     """Build a graph from explicit ``(thread, object)`` pairs."""
     return BipartiteGraph(edges=list(edges))

@@ -2,6 +2,7 @@
 
 from repro.offline.algorithm import (
     OfflineResult,
+    offline_optimum_trajectory,
     optimal_clock_size,
     optimal_components_for_computation,
     optimal_components_for_graph,
@@ -10,6 +11,7 @@ from repro.offline.algorithm import (
 
 __all__ = [
     "OfflineResult",
+    "offline_optimum_trajectory",
     "optimal_clock_size",
     "optimal_components_for_computation",
     "optimal_components_for_graph",

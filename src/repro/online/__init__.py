@@ -14,6 +14,7 @@ from repro.online.sensitivity import (
 from repro.online.simulator import (
     OnlineRunResult,
     compare_mechanisms,
+    offline_optimum_result,
     reveal_order,
     run_mechanism,
     run_mechanism_on_computation,
@@ -35,6 +36,7 @@ __all__ = [
     "THREAD",
     "compare_mechanisms",
     "compare_order_sensitivity",
+    "offline_optimum_result",
     "order_sensitivity",
     "reveal_order",
     "run_mechanism",

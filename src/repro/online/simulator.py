@@ -6,12 +6,21 @@ provides that driver:
 
 * :func:`reveal_order` turns a bipartite graph into a random edge-reveal
   order (each edge is one event, matching the paper's setup where repeated
-  operations on the same pair change nothing);
+  operations on the same pair change nothing).  Before shuffling, edges
+  are canonicalised by a ``(type name, repr)`` sort key per endpoint, so
+  graphs mixing vertex types (e.g. the int ``1`` and the str ``"1"``)
+  still reveal deterministically for a given seed;
 * :func:`run_mechanism` feeds a pair sequence to a mechanism and records
   the clock-size trajectory;
 * :func:`compare_mechanisms` runs several mechanisms (and optionally the
   offline optimum) on identical reveal orders and returns one
   :class:`OnlineRunResult` per mechanism - the raw material of Figs. 4-7.
+  The ``"offline"`` entry is a true per-event optimum trajectory: the
+  minimum-vertex-cover size of every revealed prefix, maintained by
+  :class:`~repro.graph.incremental.IncrementalMatching` in one pass.
+  Dividing an online trajectory by it pointwise gives the
+  competitive-ratio-over-time series (:func:`competitive_ratio_trajectory`
+  in :mod:`repro.analysis.metrics`).
 """
 
 from __future__ import annotations
@@ -22,7 +31,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.computation.trace import Computation
 from repro.graph.bipartite import BipartiteGraph, Vertex
 from repro.graph.generators import SeedLike, _rng
-from repro.offline.algorithm import optimal_clock_size
+from repro.graph.incremental import incremental_optimum_trajectory
 from repro.online.base import OnlineMechanism
 
 Pair = Tuple[Vertex, Vertex]
@@ -50,15 +59,38 @@ class OnlineRunResult:
         return self.size_trajectory
 
 
+def _vertex_sort_key(vertex: Vertex) -> Tuple[str, str]:
+    """An ordering key for arbitrary vertices: ``(type name, repr)``.
+
+    Sorting by ``str`` alone conflates distinct vertices whose printed
+    forms collide across types (``1`` vs ``"1"``, ``1`` vs ``1.0`` inside
+    a tuple, enum members vs their values); this key keeps the types
+    apart.  Same-type vertices with *identical* reprs (e.g. instances of
+    a class with a static ``__repr__``) still tie, and their relative
+    pre-shuffle order falls back to the stable sort's input order - give
+    such classes a discriminating ``__repr__`` if exact cross-run
+    reproducibility matters.
+    """
+    return (type(vertex).__name__, repr(vertex))
+
+
+def _edge_sort_key(edge: Pair) -> Tuple[Tuple[str, str], Tuple[str, str]]:
+    thread, obj = edge
+    return (_vertex_sort_key(thread), _vertex_sort_key(obj))
+
+
 def reveal_order(graph: BipartiteGraph, seed: SeedLike = None) -> List[Pair]:
     """A random order in which to reveal the edges of ``graph``.
 
     Each edge appears exactly once; the shuffle models the unpredictability
     of the online setting while keeping the final revealed graph equal to
-    ``graph``.
+    ``graph``.  The edges are canonically sorted (by the key above) before
+    shuffling, so for vertices with discriminating reprs the order depends
+    only on ``seed`` and the edge set; see :func:`_vertex_sort_key` for
+    the one remaining tie case (same-type vertices with identical reprs).
     """
     rng = _rng(seed)
-    edges = sorted(graph.edges(), key=str)
+    edges = sorted(graph.edges(), key=_edge_sort_key)
     rng.shuffle(edges)
     return edges
 
@@ -109,22 +141,37 @@ def compare_mechanisms(
         Mapping from a label to a zero-argument callable producing a fresh
         mechanism (mechanisms are single-use).
     include_offline:
-        When ``True``, an entry ``"offline"`` is added whose ``final_size``
-        is the offline optimum (minimum vertex cover size) of ``graph``;
-        its trajectory is a constant line, matching how Figs. 6-7 plot it.
+        When ``True``, an entry ``"offline"`` is added whose trajectory is
+        the *per-event offline optimum*: ``size_trajectory[i]`` is the
+        minimum vertex cover size of the graph revealed by the first
+        ``i + 1`` events, computed incrementally in one pass.  Its final
+        value equals ``optimal_clock_size(graph)``, the constant the
+        original Figs. 6-7 plot; the full trajectory additionally supports
+        competitive-ratio-over-time analysis.
     """
     order = reveal_order(graph, seed=seed)
     results: Dict[str, OnlineRunResult] = {}
     for label, factory in factories.items():
         results[label] = run_mechanism(factory(), order)
     if include_offline:
-        optimum = optimal_clock_size(graph)
-        results["offline"] = OnlineRunResult(
-            mechanism_name="offline-optimal",
-            final_size=optimum,
-            size_trajectory=tuple([optimum] * len(order)),
-            thread_components=-1,
-            object_components=-1,
-            events_revealed=len(order),
-        )
+        results["offline"] = offline_optimum_result(order)
     return results
+
+
+def offline_optimum_result(order: Sequence[Pair]) -> OnlineRunResult:
+    """The per-event offline-optimum trajectory of one reveal order.
+
+    Packaged as an :class:`OnlineRunResult` so it plots alongside the
+    online mechanisms.  Thread/object component counts are reported as
+    ``-1``: the optimum is a matching *size*; which side each cover vertex
+    lives on is only fixed once the final cover is constructed.
+    """
+    trajectory = incremental_optimum_trajectory(order)
+    return OnlineRunResult(
+        mechanism_name="offline-optimal",
+        final_size=trajectory[-1] if trajectory else 0,
+        size_trajectory=trajectory,
+        thread_components=-1,
+        object_components=-1,
+        events_revealed=len(order),
+    )

@@ -17,6 +17,7 @@ from hypothesis import given, settings, strategies as st
 from repro.computation import Computation, HappenedBefore
 from repro.core import ClockComponents, VectorClockProtocol, timestamp_with_mixed_clock
 from repro.exceptions import (
+    AmbiguousTimestampError,
     ClockError,
     ComponentError,
     ComputationError,
@@ -56,11 +57,55 @@ class TestBrokenCovers:
         assert not (stamped[b_first] < stamped[b_second])
         assert stamped[b_first] == stamped[b_second]
 
+    def test_identical_uncovered_timestamps_raise_on_causality_queries(self):
+        # Same setup as above: two distinct uncovered events end up with
+        # identical timestamps.  Answering "equal" (or "not concurrent")
+        # for different events would silently corrupt causality analysis,
+        # so every query path must surface the ambiguity instead.
+        trace = Computation.from_pairs([("B", "x"), ("B", "x")])
+        protocol = VectorClockProtocol(ClockComponents(["A"], []), strict=False)
+        stamped = protocol.timestamp_computation(trace)
+        b_first, b_second = trace.events
+        with pytest.raises(AmbiguousTimestampError):
+            stamped.relation(b_first, b_second)
+        with pytest.raises(AmbiguousTimestampError):
+            stamped.happened_before(b_first, b_second)
+        with pytest.raises(AmbiguousTimestampError):
+            stamped.concurrent(b_first, b_second)
+        # The same event compared against itself stays unambiguous.
+        assert stamped.relation(b_first, b_first) == "equal"
+        assert not stamped.concurrent(b_first, b_first)
+
+    def test_covered_events_never_trigger_the_ambiguity_guard(self):
+        trace = Computation.from_pairs(random_pairs(4, 4, 40, seed=21))
+        result = optimal_components_for_computation(trace)
+        stamped = result.protocol().timestamp_computation(trace)
+        # A valid cover increments at least one slot per event, so all
+        # pairwise queries must succeed.
+        for a in trace:
+            for b in trace:
+                stamped.relation(a, b)
+
     def test_strict_mode_rejects_the_same_situation_up_front(self):
         trace = Computation.from_pairs([("B", "x"), ("A", "x"), ("B", "x")])
         protocol = VectorClockProtocol(ClockComponents(["A"], []))
         with pytest.raises(ComponentError):
             protocol.timestamp_computation(trace)
+
+    def test_failed_batch_poisons_the_protocol_until_reset(self):
+        # A ComponentError mid-computation leaves clock state behind; the
+        # fresh-instance guard must keep refusing reuse so the leaked
+        # causality cannot silently bleed into a later computation.
+        covered = Computation.from_pairs([("A", "x")])
+        mixed = Computation.from_pairs([("A", "x"), ("B", "y")])
+        protocol = VectorClockProtocol(ClockComponents(["A"], ["x"]))
+        with pytest.raises(ComponentError):
+            protocol.timestamp_computation(mixed)
+        with pytest.raises(ClockError):
+            protocol.timestamp_computation(covered)
+        protocol.reset()
+        stamped = protocol.timestamp_computation(covered)
+        assert stamped[covered.events[0]].as_dict() == {"A": 1, "x": 1}
 
 
 class TestTamperedTimestamps:

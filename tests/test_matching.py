@@ -7,6 +7,7 @@ import pytest
 from repro.exceptions import MatchingError
 from repro.graph import (
     BipartiteGraph,
+    chain_bipartite,
     Matching,
     augmenting_path_matching,
     brute_force_matching,
@@ -173,3 +174,29 @@ class TestBruteForce:
     def test_unknown_algorithm(self):
         with pytest.raises(ValueError):
             maximum_matching(BipartiteGraph(), algorithm="quantum")
+
+
+class TestDeepAugmentingPaths:
+    """Regression tests: the matchers must not recurse once per path hop.
+
+    A chain graph's augmenting paths are ``O(V)`` hops long, so the old
+    recursive matchers blew Python's recursion limit on chains of around a
+    thousand threads.  The iterative (explicit-stack) forms must match a
+    5000-thread chain comfortably under the default limit.
+    """
+
+    @pytest.mark.parametrize("matcher", [augmenting_path_matching, hopcroft_karp_matching])
+    def test_5000_thread_chain_does_not_overflow_the_stack(self, matcher):
+        graph = chain_bipartite(10_000)  # 5000 threads + 5000 objects
+        assert graph.num_threads == 5000
+        matching = matcher(graph)
+        # The perfect matching T_i - O_i is the unique maximum one.
+        assert len(matching) == 5000
+
+    @pytest.mark.parametrize("matcher", [augmenting_path_matching, hopcroft_karp_matching])
+    def test_chain_matchings_are_maximum(self, matcher):
+        for vertices in (2, 3, 7, 40, 41):
+            graph = chain_bipartite(vertices)
+            matching = matcher(graph)
+            assert len(matching) == vertices // 2
+            assert is_maximum_matching(graph, matching)

@@ -30,6 +30,34 @@ class TestRevealOrder:
         assert reveal_order(graph, seed=5) == reveal_order(graph, seed=5)
         assert reveal_order(graph, seed=5) != reveal_order(graph, seed=6)
 
+    def test_mixed_vertex_types_reveal_deterministically(self):
+        # Distinct vertices may share a printed form across types (the
+        # int 1 and the str "1"); the sort key separates those.  Same-type
+        # vertices with identical reprs (Opaque below) cannot be separated
+        # by any printed form - they must still shuffle into a valid,
+        # in-process-deterministic permutation rather than crash.
+        from repro.graph import BipartiteGraph
+
+        class Opaque:
+            """A vertex whose instances all print identically."""
+
+            def __repr__(self):
+                return "<opaque>"
+
+        a, b = Opaque(), Opaque()
+        graph = BipartiteGraph(
+            edges=[(1, "x"), ("1", "x"), (1, "y"), (a, "x"), (b, "y")]
+        )
+        order = reveal_order(graph, seed=4)
+        assert len(order) == graph.num_edges
+        assert set(order) == set(graph.edges())
+        assert reveal_order(graph, seed=4) == order
+
+    def test_edge_sort_key_separates_identical_strings(self):
+        from repro.online.simulator import _edge_sort_key
+
+        assert _edge_sort_key((1, "O")) != _edge_sort_key(("1", "O"))
+
 
 class TestRunMechanism:
     def test_trajectory_is_monotone_and_bounded(self):
@@ -71,12 +99,48 @@ class TestCompareMechanisms:
         assert results["naive"].final_size == results["naive-again"].final_size
         assert results["naive"].size_trajectory == results["naive-again"].size_trajectory
 
-    def test_include_offline_adds_constant_series(self):
+    def test_include_offline_adds_per_event_optimum_trajectory(self):
         graph = uniform_bipartite(10, 10, 0.2, seed=2)
         results = compare_mechanisms(
             graph, {"popularity": lambda: PopularityMechanism()}, seed=3, include_offline=True
         )
         offline = results["offline"]
         assert offline.final_size == optimal_clock_size(graph)
-        assert set(offline.size_trajectory) == {offline.final_size}
+        assert offline.size_trajectory[-1] == offline.final_size
+        # A true per-event optimum starts small and grows; it is no longer
+        # the constant final-value line the seed plotted.
+        assert offline.size_trajectory[0] == 1
+        assert len(set(offline.size_trajectory)) > 1
+        assert list(offline.size_trajectory) == sorted(offline.size_trajectory)
         assert results["popularity"].final_size >= offline.final_size
+
+    def test_offline_trajectory_agrees_with_optimum_at_every_prefix(self):
+        from repro.graph import BipartiteGraph
+        from repro.online import reveal_order
+
+        graph = uniform_bipartite(8, 8, 0.3, seed=11)
+        order = reveal_order(graph, seed=12)
+        results = compare_mechanisms(
+            graph, {"naive": lambda: NaiveMechanism()}, seed=12, include_offline=True
+        )
+        trajectory = results["offline"].size_trajectory
+        prefix = BipartiteGraph()
+        for position, (thread, obj) in enumerate(order):
+            prefix.add_edge(thread, obj)
+            assert trajectory[position] == optimal_clock_size(prefix)
+
+    def test_online_mechanisms_never_dip_below_offline_trajectory(self):
+        graph = uniform_bipartite(12, 12, 0.25, seed=7)
+        results = compare_mechanisms(
+            graph,
+            {
+                "naive": lambda: NaiveMechanism(),
+                "popularity": lambda: PopularityMechanism(),
+            },
+            seed=8,
+            include_offline=True,
+        )
+        offline = results["offline"].size_trajectory
+        for label in ("naive", "popularity"):
+            online = results[label].size_trajectory
+            assert all(o >= f for o, f in zip(online, offline))
