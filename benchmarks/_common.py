@@ -32,6 +32,13 @@ if SMOKE:
     TRIALS = 2
     MATCHING_SIZES = [50, 100]
     CHAIN_VERTICES = 2_000
+    STREAM_EVENTS = 300
+    STREAM_WINDOW = 60
+    STREAM_SIZES = [12]
+    STREAM_DENSITIES = [0.1]
+    STREAM_TRIALS = 1
+    STREAM_BURN_IN = 30
+    STREAM_TAIL = 30
 else:
     #: Densities swept in Figs. 4 and 6.
     FIG4_DENSITIES = [0.01, 0.02, 0.05, 0.10, 0.15, 0.20, 0.30, 0.40, 0.50]
@@ -45,6 +52,20 @@ else:
     #: ``O(V)``-hop augmenting paths; this size used to be unreachable with
     #: the recursive matchers.
     CHAIN_VERTICES = 10_000
+    #: Insert events per trial in the sliding-window ratio sweep (E8).
+    STREAM_EVENTS = 4_000
+    #: Sliding-window length for insert-only stream scenarios.
+    STREAM_WINDOW = 500
+    #: Nodes per side swept in the streaming grid.
+    STREAM_SIZES = [30, 60]
+    #: Density knob values swept in the streaming grid.
+    STREAM_DENSITIES = [0.05, 0.2]
+    #: Independent streams per grid cell.
+    STREAM_TRIALS = 3
+    #: Leading events summarised as burn-in.
+    STREAM_BURN_IN = 200
+    #: Trailing events summarised as steady state.
+    STREAM_TAIL = 200
 
 #: Nodes per side in the density sweeps (the paper uses 50 threads / 50 objects).
 FIG4_NODES = 50

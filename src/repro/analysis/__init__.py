@@ -18,6 +18,12 @@ from repro.analysis.metrics import (
     summarize,
     summarize_by_key,
 )
+from repro.analysis.ratio_sweep import (
+    RatioCell,
+    RatioSweepResult,
+    format_ratio_sweep,
+    ratio_sweep,
+)
 from repro.analysis.report import (
     format_comparison_table,
     format_series,
@@ -29,6 +35,8 @@ from repro.analysis.report import (
 __all__ = [
     "EXTENDED_MECHANISMS",
     "PAPER_MECHANISMS",
+    "RatioCell",
+    "RatioSweepResult",
     "SummaryStats",
     "SweepPoint",
     "SweepResult",
@@ -37,10 +45,12 @@ __all__ = [
     "crossover_point",
     "density_sweep",
     "format_comparison_table",
+    "format_ratio_sweep",
     "format_series",
     "format_sweep",
     "format_table",
     "node_sweep",
+    "ratio_sweep",
     "relative_reduction",
     "scenario_comparison",
     "summarize",

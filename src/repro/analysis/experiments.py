@@ -27,10 +27,10 @@ from repro.analysis.metrics import (
     competitive_ratio_trajectory,
     summarize,
 )
+from repro.computation.registry import GRAPH, REGISTRY
 from repro.computation.trace import Computation
-from repro.exceptions import ExperimentError
+from repro.exceptions import ExperimentError, ScenarioError
 from repro.graph.bipartite import BipartiteGraph
-from repro.graph.generators import nonuniform_bipartite, uniform_bipartite
 from repro.offline.algorithm import optimal_clock_size
 from repro.online.base import OnlineMechanism
 from repro.online.hybrid import HybridMechanism
@@ -135,7 +135,7 @@ def _sweep(
             graph = graph_factory(x, seed)
             order = reveal_order(graph, seed=seed + 1)
             for label, factory in mechanisms.items():
-                result = run_mechanism(factory(seed + 2), list(order))
+                result = run_mechanism(factory(seed + 2), order)
                 per_mechanism[label].append(result.final_size)
             if include_nominal_naive:
                 per_mechanism["thread_clock"].append(graph.num_threads)
@@ -279,8 +279,15 @@ def competitive_ratio_over_time(
 
 
 def _scenario_generator(scenario: str):
-    if scenario == "uniform":
-        return lambda n, m, density, seed: uniform_bipartite(n, m, density, seed=seed)
-    if scenario == "nonuniform":
-        return lambda n, m, density, seed: nonuniform_bipartite(n, m, density, seed=seed)
-    raise ExperimentError(f"unknown scenario: {scenario!r} (expected 'uniform' or 'nonuniform')")
+    """Resolve a graph-family scenario name through the scenario registry.
+
+    The registry is the single source of workload truth (the CLI and the
+    benchmarks resolve names through the same table); the lookup error is
+    re-raised as :class:`ExperimentError` to keep this harness's error
+    contract.
+    """
+    try:
+        factory = REGISTRY.get(scenario, kind=GRAPH).factory
+    except ScenarioError as error:
+        raise ExperimentError(str(error)) from None
+    return lambda n, m, density, seed: factory(n, m, density, seed=seed)

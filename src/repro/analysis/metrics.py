@@ -11,18 +11,26 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Sequence
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
 
 
 @dataclass(frozen=True)
 class SummaryStats:
-    """Mean / spread summary of one metric over repeated trials."""
+    """Mean / spread summary of one metric over repeated trials.
+
+    When built through :func:`summarize`, the sorted sample is retained
+    in :attr:`sorted_values`, which unlocks the order statistics
+    (:attr:`median`, :meth:`percentile`).  Ratio trajectories are heavily
+    skewed (a handful of early burn-in events can dwarf the steady-state
+    tail), so mean ± CI alone misrepresents them.
+    """
 
     count: int
     mean: float
     std: float
     minimum: float
     maximum: float
+    sorted_values: Tuple[float, ...] = ()
 
     @property
     def stderr(self) -> float:
@@ -35,13 +43,45 @@ class SummaryStats:
         """Half-width of the ~95% confidence interval (normal approximation)."""
         return z * self.stderr
 
+    @property
+    def median(self) -> float:
+        """The 50th percentile of the summarised sample."""
+        return self.percentile(50.0)
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile (0-100) via linear interpolation.
+
+        Requires the summary to carry its sample (:func:`summarize` keeps
+        it; hand-built instances may not), because order statistics cannot
+        be reconstructed from the moments alone.
+        """
+        if not (0.0 <= p <= 100.0):
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if not self.sorted_values:
+            raise ValueError(
+                "this SummaryStats carries no sample values; "
+                "build it with summarize() to enable percentiles"
+            )
+        if len(self.sorted_values) == 1:
+            return self.sorted_values[0]
+        rank = (p / 100.0) * (len(self.sorted_values) - 1)
+        low = math.floor(rank)
+        high = math.ceil(rank)
+        if low == high:
+            return self.sorted_values[low]
+        fraction = rank - low
+        return (
+            self.sorted_values[low] * (1.0 - fraction)
+            + self.sorted_values[high] * fraction
+        )
+
     def __str__(self) -> str:
         return f"{self.mean:.2f} ± {self.confidence_halfwidth():.2f} (n={self.count})"
 
 
 def summarize(values: Iterable[float]) -> SummaryStats:
     """Compute :class:`SummaryStats` for a sequence of trial values."""
-    data: List[float] = [float(v) for v in values]
+    data: List[float] = sorted(float(v) for v in values)
     if not data:
         raise ValueError("cannot summarise an empty sequence")
     count = len(data)
@@ -54,8 +94,9 @@ def summarize(values: Iterable[float]) -> SummaryStats:
         count=count,
         mean=mean,
         std=math.sqrt(variance),
-        minimum=min(data),
-        maximum=max(data),
+        minimum=data[0],
+        maximum=data[-1],
+        sorted_values=tuple(data),
     )
 
 

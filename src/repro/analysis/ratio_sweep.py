@@ -1,0 +1,239 @@
+"""Burn-in vs steady-state competitive-ratio sweeps over streaming scenarios.
+
+The ROADMAP asks *when* each online mechanism falls behind the offline
+optimum, not just by how much at the end of a run.  The answer splits a
+run into two regimes:
+
+* **burn-in** - the first ``burn_in`` revealed events, where the optimum
+  is still tiny and a single premature component commitment produces
+  large ratios;
+* **steady state** - the last ``tail`` revealed events, where (under a
+  sliding window) the live graph has reached its stationary shape and
+  the ratio measures the mechanism's persistent overhead.
+
+:func:`ratio_sweep` runs a grid over densities x sizes for each
+registered ``stream`` scenario: every cell streams mechanisms and the
+dynamic offline optimum through
+:func:`~repro.online.simulator.compare_mechanisms_on_stream` in a single
+pass (no reveal list is ever materialised), computes the pointwise
+competitive-ratio trajectory, and summarises the first-``burn_in`` and
+last-``tail`` samples - pooled across trials - with the full
+:class:`~repro.analysis.metrics.SummaryStats` (so medians and
+percentiles are available, not just mean ± CI; ratio tails are skewed).
+
+Scenarios that emit their own expire events (``expires=True``, e.g.
+thread churn) run unwindowed; insert-only scenarios get the sweep's
+sliding window imposed on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.experiments import MechanismFactory, PAPER_MECHANISMS
+from repro.analysis.metrics import (
+    SummaryStats,
+    competitive_ratio_trajectory,
+    summarize,
+)
+from repro.analysis.report import format_table
+from repro.computation.registry import REGISTRY, STREAM, Scenario
+from repro.exceptions import ExperimentError, ScenarioError
+from repro.online.simulator import OFFLINE_LABEL, compare_mechanisms_on_stream
+
+
+@dataclass(frozen=True)
+class RatioCell:
+    """One grid cell: per-mechanism burn-in and steady-state ratio stats."""
+
+    scenario: str
+    density: float
+    size: int
+    burn_in: Mapping[str, SummaryStats]
+    steady: Mapping[str, SummaryStats]
+
+
+@dataclass(frozen=True)
+class RatioSweepResult:
+    """A full ratio sweep: the grid axes plus one :class:`RatioCell` per point."""
+
+    scenarios: Tuple[str, ...]
+    densities: Tuple[float, ...]
+    sizes: Tuple[int, ...]
+    mechanisms: Tuple[str, ...]
+    window: int
+    burn_in_events: int
+    steady_tail_events: int
+    num_events: int
+    trials: int
+    cells: Tuple[RatioCell, ...]
+
+    def cells_for(self, scenario: str) -> Tuple[RatioCell, ...]:
+        """The grid cells of one scenario, in sweep order."""
+        return tuple(cell for cell in self.cells if cell.scenario == scenario)
+
+
+def ratio_sweep(
+    scenarios: Optional[Sequence[str]] = None,
+    densities: Sequence[float] = (0.05, 0.2),
+    sizes: Sequence[int] = (20, 40),
+    mechanisms: Optional[Mapping[str, MechanismFactory]] = None,
+    trials: int = 3,
+    window: int = 200,
+    burn_in: int = 50,
+    tail: int = 50,
+    num_events: Optional[int] = None,
+    base_seed: int = 2019,
+) -> RatioSweepResult:
+    """Sweep burn-in / steady-state competitive ratios over a stream grid.
+
+    Parameters
+    ----------
+    scenarios:
+        Names of registered ``stream`` scenarios; defaults to every one in
+        the registry.
+    densities, sizes:
+        The grid axes: each stream runs with ``size`` threads, ``size``
+        objects and the given density knob.
+    mechanisms:
+        Seeded mechanism factories as in the classic sweeps; defaults to
+        the paper's three (:data:`~repro.analysis.experiments.PAPER_MECHANISMS`).
+    trials:
+        Independent streams per cell; ratio samples are pooled across
+        trials before summarisation.
+    window:
+        Sliding-window length imposed on insert-only scenarios
+        (self-expiring scenarios run unwindowed).
+    burn_in, tail:
+        How many leading / trailing revealed events feed the two summaries.
+    num_events:
+        Inserts per stream; defaults to ``max(burn_in + tail, 4 * window)``
+        so the tail is sampled well past the first window turnover.
+    """
+    chosen_mechanisms = dict(mechanisms or PAPER_MECHANISMS)
+    if trials < 1:
+        raise ExperimentError("trials must be >= 1")
+    if window < 1:
+        raise ExperimentError("window must be >= 1")
+    if burn_in < 1 or tail < 1:
+        raise ExperimentError("burn_in and tail must be >= 1")
+    if not densities or not sizes:
+        raise ExperimentError("densities and sizes must not be empty")
+    events_per_trial = (
+        num_events if num_events is not None else max(burn_in + tail, 4 * window)
+    )
+    if events_per_trial < burn_in + tail:
+        raise ExperimentError(
+            f"num_events ({events_per_trial}) must cover burn_in + tail "
+            f"({burn_in + tail})"
+        )
+    try:
+        chosen_scenarios: List[Scenario] = [
+            REGISTRY.get(name, kind=STREAM)
+            for name in (scenarios if scenarios is not None else REGISTRY.names(STREAM))
+        ]
+    except ScenarioError as error:
+        raise ExperimentError(str(error)) from None
+    if not chosen_scenarios:
+        raise ExperimentError("no stream scenarios selected")
+
+    cells: List[RatioCell] = []
+    for scenario_index, scenario in enumerate(chosen_scenarios):
+        for density_index, density in enumerate(densities):
+            for size_index, size in enumerate(sizes):
+                burn_samples: Dict[str, List[float]] = {
+                    label: [] for label in chosen_mechanisms
+                }
+                steady_samples: Dict[str, List[float]] = {
+                    label: [] for label in chosen_mechanisms
+                }
+                for trial in range(trials):
+                    seed = (
+                        base_seed
+                        + 1_000_000 * scenario_index
+                        + 100_000 * density_index
+                        + 10_000 * size_index
+                        + trial
+                    )
+                    events = scenario.build(
+                        size, size, density, events_per_trial, seed=seed
+                    )
+                    factories = {
+                        label: (lambda factory=factory: factory(seed + 1))
+                        for label, factory in chosen_mechanisms.items()
+                    }
+                    results = compare_mechanisms_on_stream(
+                        events,
+                        factories,
+                        include_offline=True,
+                        window=None if scenario.expires else window,
+                    )
+                    offline_sizes = results[OFFLINE_LABEL].size_trajectory
+                    for label in chosen_mechanisms:
+                        ratios = competitive_ratio_trajectory(
+                            results[label].size_trajectory, offline_sizes
+                        )
+                        burn_samples[label].extend(ratios[:burn_in])
+                        steady_samples[label].extend(ratios[-tail:])
+                cells.append(
+                    RatioCell(
+                        scenario=scenario.name,
+                        density=density,
+                        size=size,
+                        burn_in={
+                            label: summarize(values)
+                            for label, values in burn_samples.items()
+                        },
+                        steady={
+                            label: summarize(values)
+                            for label, values in steady_samples.items()
+                        },
+                    )
+                )
+    return RatioSweepResult(
+        scenarios=tuple(scenario.name for scenario in chosen_scenarios),
+        densities=tuple(densities),
+        sizes=tuple(int(size) for size in sizes),
+        mechanisms=tuple(chosen_mechanisms),
+        window=window,
+        burn_in_events=burn_in,
+        steady_tail_events=tail,
+        num_events=events_per_trial,
+        trials=trials,
+        cells=tuple(cells),
+    )
+
+
+def format_ratio_sweep(result: RatioSweepResult) -> str:
+    """Render one table per scenario: burn-in vs steady-state per mechanism.
+
+    Each mechanism gets a ``burn`` and a ``steady`` column showing
+    ``mean (median)`` of the pooled ratio samples - the pairing that makes
+    the over-commitment story legible at a glance (a mechanism with high
+    burn-in but near-1 steady state recovers; one high in both never does).
+    """
+    sections: List[str] = []
+    for name in result.scenarios:
+        scenario = REGISTRY.get(name, kind=STREAM)
+        regime = (
+            "self-expiring (no window)"
+            if scenario.expires
+            else f"window {result.window}"
+        )
+        header = (
+            f"ratio-sweep-{name}  ({regime}, {result.num_events} events/trial, "
+            f"burn-in first {result.burn_in_events}, steady last "
+            f"{result.steady_tail_events}, trials per cell: {result.trials})"
+        )
+        rows = []
+        for cell in result.cells_for(name):
+            row: Dict[str, object] = {"density": cell.density, "nodes": cell.size}
+            for label in result.mechanisms:
+                burn = cell.burn_in[label]
+                steady = cell.steady[label]
+                row[f"{label}:burn"] = f"{burn.mean:.2f} ({burn.median:.2f})"
+                row[f"{label}:steady"] = f"{steady.mean:.2f} ({steady.median:.2f})"
+            rows.append(row)
+        sections.append(header + "\n" + format_table(rows))
+    return "\n\n".join(sections)

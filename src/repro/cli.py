@@ -10,40 +10,43 @@ python -m repro generate --workload producer-consumer --out trace.json
 python -m repro analyze trace.json           # optimal mixed clock for a trace
 python -m repro sweep density --scenario nonuniform --trials 3
 python -m repro sweep nodes --density 0.05
+python -m repro sweep ratio --window 200     # burn-in vs steady-state ratios
 ```
 
 Every command prints plain text to stdout; ``analyze`` and ``generate``
 read/write the JSON trace format of :mod:`repro.computation.serialization`.
+
+Workload and scenario choices are not hard-coded here: they are derived
+from the :mod:`~repro.computation.registry`, so a scenario registered
+anywhere in the package shows up in ``--workload`` / ``--scenario``
+choices, help text and error messages without touching this module.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
-from repro.analysis import density_sweep, format_sweep, node_sweep, sweep_crossovers
-from repro.computation import (
-    Computation,
-    HappenedBefore,
-    lock_hierarchy_trace,
-    paper_example_trace,
-    pipeline_trace,
-    producer_consumer_trace,
-    random_trace,
-    work_stealing_trace,
+from repro.analysis import (
+    density_sweep,
+    format_ratio_sweep,
+    format_sweep,
+    node_sweep,
+    ratio_sweep,
+    sweep_crossovers,
 )
+from repro.computation import GRAPH, HappenedBefore, REGISTRY, STREAM, TRACE
 from repro.computation.serialization import dump_computation, load_computation
+from repro.computation.workloads import paper_example_trace
 from repro.exceptions import ReproError
 from repro.offline import optimal_components_for_computation
 
+#: Trace workloads by name, derived from the scenario registry (kept as a
+#: module attribute because it is the CLI's public lookup surface; the
+#: registry remains the single source of truth).
 WORKLOADS = {
-    "paper-example": lambda seed: paper_example_trace(),
-    "producer-consumer": lambda seed: producer_consumer_trace(seed=seed),
-    "work-stealing": lambda seed: work_stealing_trace(seed=seed),
-    "lock-hierarchy": lambda seed: lock_hierarchy_trace(seed=seed),
-    "pipeline": lambda seed: pipeline_trace(seed=seed),
-    "random": lambda seed: random_trace(10, 20, 400, locality=0.5, seed=seed),
+    scenario.name: scenario.factory for scenario in REGISTRY.scenarios(TRACE)
 }
 
 
@@ -57,8 +60,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     subparsers.add_parser("demo", help="walk through the paper's running example")
 
-    generate = subparsers.add_parser("generate", help="generate a workload trace as JSON")
-    generate.add_argument("--workload", choices=sorted(WORKLOADS), default="producer-consumer")
+    generate = subparsers.add_parser(
+        "generate",
+        help="generate a workload trace as JSON",
+        description="Registered trace workloads:\n" + REGISTRY.describe(TRACE),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    generate.add_argument("--workload", choices=REGISTRY.names(TRACE), default="producer-consumer")
     generate.add_argument("--seed", type=int, default=2019)
     generate.add_argument("--out", required=True, help="output JSON path")
 
@@ -71,15 +79,56 @@ def build_parser() -> argparse.ArgumentParser:
         "(quadratic in the number of events; intended for small traces)",
     )
 
-    sweep = subparsers.add_parser("sweep", help="regenerate one of the paper's sweeps")
-    sweep.add_argument("axis", choices=["density", "nodes"])
-    sweep.add_argument("--scenario", choices=["uniform", "nonuniform"], default="uniform")
-    sweep.add_argument("--trials", type=int, default=3)
-    sweep.add_argument("--nodes", type=int, default=50, help="nodes per side (density sweep)")
-    sweep.add_argument("--density", type=float, default=0.05, help="graph density (nodes sweep)")
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="regenerate one of the paper's sweeps, or the streaming ratio sweep",
+        description=(
+            "Axes 'density' and 'nodes' regenerate the paper's Figs. 4-7 on a\n"
+            "registered graph family; axis 'ratio' runs the streaming burn-in\n"
+            "vs steady-state competitive-ratio grid over every registered\n"
+            "stream scenario.\n\n"
+            "Registered graph scenarios:\n" + REGISTRY.describe(GRAPH) + "\n\n"
+            "Registered stream scenarios:\n" + REGISTRY.describe(STREAM)
+        ),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sweep.add_argument("axis", choices=["density", "nodes", "ratio"])
+    sweep.add_argument(
+        "--scenario",
+        choices=REGISTRY.names(GRAPH) + REGISTRY.names(STREAM),
+        default=None,
+        help="graph scenario for density/nodes sweeps (default: uniform); "
+        "stream scenario for the ratio sweep (default: all of them)",
+    )
+    sweep.add_argument(
+        "--trials", type=int, default=3)
+    sweep.add_argument(
+        "--nodes", type=int, default=None,
+        help="nodes per side (density sweep default: 50; ratio sweep default: 20 and 40)",
+    )
+    sweep.add_argument(
+        "--density", type=float, default=None,
+        help="graph density (nodes sweep default: 0.05; ratio sweep default: 0.05 and 0.2)",
+    )
     sweep.add_argument("--seed", type=int, default=2019)
     sweep.add_argument(
         "--offline", action="store_true", help="include the offline optimum series (Figs. 6-7)"
+    )
+    sweep.add_argument(
+        "--window", type=int, default=200,
+        help="sliding-window length for insert-only stream scenarios (ratio sweep)",
+    )
+    sweep.add_argument(
+        "--burn-in", type=int, default=50, dest="burn_in",
+        help="events counted as burn-in (ratio sweep)",
+    )
+    sweep.add_argument(
+        "--tail", type=int, default=50,
+        help="trailing events counted as steady state (ratio sweep)",
+    )
+    sweep.add_argument(
+        "--events", type=int, default=None,
+        help="insert events per trial (ratio sweep; default scales with the window)",
     )
     return parser
 
@@ -103,7 +152,10 @@ def _cmd_demo(_: argparse.Namespace) -> int:
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
-    trace = WORKLOADS[args.workload](args.seed)
+    # Resolved through the registry (not the WORKLOADS snapshot) so trace
+    # scenarios registered after this module was imported still generate;
+    # an unknown name surfaces as a ScenarioError -> clean CLI error.
+    trace = REGISTRY.get(args.workload, kind=TRACE).build(args.seed)
     dump_computation(trace, args.out)
     print(f"wrote {trace.num_events} events "
           f"({trace.num_threads} threads, {trace.num_objects} objects) to {args.out}")
@@ -142,12 +194,30 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.axis == "ratio":
+        result = ratio_sweep(
+            scenarios=[args.scenario] if args.scenario else None,
+            densities=[args.density] if args.density is not None else (0.05, 0.2),
+            sizes=[args.nodes] if args.nodes is not None else (20, 40),
+            trials=args.trials,
+            window=args.window,
+            burn_in=args.burn_in,
+            tail=args.tail,
+            num_events=args.events,
+            base_seed=args.seed,
+        )
+        print(format_ratio_sweep(result))
+        return 0
+    # A stream scenario passed to a graph-family axis fails the registry's
+    # kind-constrained lookup inside the sweep, which surfaces as a clean
+    # 'error: unknown graph scenario' exit rather than a silent ignore.
+    scenario = args.scenario or "uniform"
     if args.axis == "density":
         result = density_sweep(
             [0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5],
-            num_threads=args.nodes,
-            num_objects=args.nodes,
-            scenario=args.scenario,
+            num_threads=args.nodes if args.nodes is not None else 50,
+            num_objects=args.nodes if args.nodes is not None else 50,
+            scenario=scenario,
             trials=args.trials,
             base_seed=args.seed,
             include_offline=args.offline,
@@ -155,8 +225,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     else:
         result = node_sweep(
             [10, 30, 50, 70, 90, 110],
-            density=args.density,
-            scenario=args.scenario,
+            density=args.density if args.density is not None else 0.05,
+            scenario=scenario,
             trials=args.trials,
             base_seed=args.seed,
             include_offline=args.offline,

@@ -1,0 +1,226 @@
+"""The scenario registry: one table for every workload the repo can run.
+
+Before this module existed, three places kept their own ad-hoc workload
+tables: the CLI's ``WORKLOADS`` dict, the experiment harness's
+``_scenario_generator`` if/elif chain, and per-benchmark ``GENERATORS``
+dicts.  They drifted (a scenario added to one never showed up in the
+others, error messages listed different names).  The registry replaces
+all of them with a single source of truth; ``--workload`` choices, CLI
+help text, sweep scenario lists and error messages are all derived from
+it.
+
+Scenarios come in three kinds, one per shape of experiment input:
+
+* ``trace``  - ``factory(seed) -> Computation``: a fixed operation trace
+  (the structured runtime workloads and the paper's running example);
+* ``graph``  - ``factory(num_threads, num_objects, density, seed) ->
+  BipartiteGraph``: a random graph family (Section V's Uniform /
+  Nonuniform plus the ablation families);
+* ``stream`` - ``factory(num_threads, num_objects, density, num_events,
+  seed) -> Iterator[StreamEvent]``: a lazy, possibly unbounded event
+  stream with optional expiry (the sliding-window monitoring regime; see
+  :mod:`repro.computation.streams`).
+
+Register a scenario where it is defined with the decorator::
+
+    @register_scenario("my-workload", kind=TRACE, description="...")
+    def my_workload(seed):
+        ...
+
+Registrations live next to the factories (trace scenarios in
+:mod:`repro.computation.workloads`, stream scenarios in
+:mod:`repro.computation.streams`, graph families at the bottom of this
+module), and importing :mod:`repro.computation` populates the registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple
+
+from repro.exceptions import ScenarioError
+
+#: The three scenario kinds (see module docstring).
+TRACE = "trace"
+GRAPH = "graph"
+STREAM = "stream"
+
+_KINDS = (TRACE, GRAPH, STREAM)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One registered scenario: a named, described factory of a known kind.
+
+    Attributes
+    ----------
+    name:
+        The public name (CLI ``--workload`` / ``--scenario`` value).
+    kind:
+        One of :data:`TRACE`, :data:`GRAPH`, :data:`STREAM`.
+    factory:
+        The callable producing the scenario's input; its signature is
+        fixed per kind (see the module docstring).
+    description:
+        One line for CLI help text and sweep reports.
+    expires:
+        Stream scenarios only: ``True`` when the stream emits its own
+        explicit expire events (churn), in which case drivers must *not*
+        impose an additional sliding window on top.
+    """
+
+    name: str
+    kind: str
+    factory: Callable[..., Any]
+    description: str = ""
+    expires: bool = False
+
+    def build(self, *args: Any, **kwargs: Any) -> Any:
+        """Invoke the factory (kind-specific signature)."""
+        return self.factory(*args, **kwargs)
+
+
+class ScenarioRegistry:
+    """Name-to-:class:`Scenario` table with per-kind views."""
+
+    def __init__(self) -> None:
+        self._scenarios: Dict[str, Scenario] = {}
+
+    def register(self, scenario: Scenario) -> Scenario:
+        """Add one scenario; names are unique across all kinds."""
+        if scenario.kind not in _KINDS:
+            raise ScenarioError(
+                f"unknown scenario kind {scenario.kind!r} "
+                f"(expected one of {', '.join(_KINDS)})"
+            )
+        if scenario.name in self._scenarios:
+            raise ScenarioError(f"scenario {scenario.name!r} is already registered")
+        if scenario.expires and scenario.kind != STREAM:
+            raise ScenarioError(
+                f"scenario {scenario.name!r}: only stream scenarios can expire events"
+            )
+        self._scenarios[scenario.name] = scenario
+        return scenario
+
+    def get(self, name: str, kind: Optional[str] = None) -> Scenario:
+        """Look up a scenario, optionally constraining its kind.
+
+        The error message lists the valid names so CLI users see the
+        choices without a separate help lookup.
+        """
+        scenario = self._scenarios.get(name)
+        if scenario is None or (kind is not None and scenario.kind != kind):
+            expected = ", ".join(self.names(kind)) or "(none registered)"
+            wanted = f"{kind} scenario" if kind else "scenario"
+            raise ScenarioError(
+                f"unknown {wanted}: {name!r} (expected one of: {expected})"
+            )
+        return scenario
+
+    def names(self, kind: Optional[str] = None) -> Tuple[str, ...]:
+        """Sorted scenario names, optionally restricted to one kind."""
+        return tuple(
+            sorted(
+                name
+                for name, scenario in self._scenarios.items()
+                if kind is None or scenario.kind == kind
+            )
+        )
+
+    def scenarios(self, kind: Optional[str] = None) -> Tuple[Scenario, ...]:
+        """Registered scenarios in name order, optionally of one kind."""
+        return tuple(self.get(name) for name in self.names(kind))
+
+    def describe(self, kind: Optional[str] = None) -> str:
+        """``name: description`` lines, the raw material of CLI help text."""
+        return "\n".join(
+            f"{scenario.name}: {scenario.description}" if scenario.description
+            else scenario.name
+            for scenario in self.scenarios(kind)
+        )
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._scenarios
+
+    def __len__(self) -> int:
+        return len(self._scenarios)
+
+    def __iter__(self) -> Iterator[Scenario]:
+        return iter(self.scenarios())
+
+
+#: The process-wide registry every layer reads from.
+REGISTRY = ScenarioRegistry()
+
+
+def register_scenario(
+    name: str,
+    kind: str,
+    description: str = "",
+    expires: bool = False,
+    registry: Optional[ScenarioRegistry] = None,
+) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Decorator registering ``factory`` under ``name`` (see module docstring).
+
+    Returns the factory unchanged, so decorated functions stay directly
+    callable.  ``registry`` overrides the process-wide :data:`REGISTRY`
+    (used by tests to register into a scratch table).
+    """
+
+    def decorator(factory: Callable[..., Any]) -> Callable[..., Any]:
+        (registry if registry is not None else REGISTRY).register(
+            Scenario(
+                name=name,
+                kind=kind,
+                factory=factory,
+                description=description,
+                expires=expires,
+            )
+        )
+        return factory
+
+    return decorator
+
+
+# ---------------------------------------------------------------------------
+# Graph-family scenarios (Section V + ablations)
+# ---------------------------------------------------------------------------
+# Registered here rather than in repro.graph.generators because the graph
+# subpackage must stay importable without repro.computation (the registry
+# lives computation-side; graph is the lower layer).
+def _register_graph_families() -> None:
+    from repro.graph.generators import (
+        clustered_bipartite,
+        nonuniform_bipartite,
+        powerlaw_bipartite,
+        uniform_bipartite,
+    )
+
+    for name, factory, description in (
+        (
+            "uniform",
+            uniform_bipartite,
+            "Section V Uniform: every pair is an edge with probability = density",
+        ),
+        (
+            "nonuniform",
+            nonuniform_bipartite,
+            "Section V Nonuniform: a popular minority of vertices attracts most edges",
+        ),
+        (
+            "powerlaw",
+            powerlaw_bipartite,
+            "ablation: Zipf-weighted degree skew, heavier than Nonuniform",
+        ),
+        (
+            "clustered",
+            clustered_bipartite,
+            "ablation: community structure, within-cluster edges boosted",
+        ),
+    ):
+        REGISTRY.register(
+            Scenario(name=name, kind=GRAPH, factory=factory, description=description)
+        )
+
+
+_register_graph_families()

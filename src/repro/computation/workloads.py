@@ -18,6 +18,14 @@ operations).  This module bridges the two worlds:
   by the examples and the runtime benchmarks.
 
 Every generator takes a ``seed`` so that experiments are reproducible.
+
+These generators produce *finite, materialised* computations - the input
+shape of the figure-reproduction experiments.  Each is also registered as
+a ``trace`` scenario in the :mod:`~repro.computation.registry`, which is
+where the CLI and the experiment harness look workloads up; the
+unbounded/streaming counterparts (event streams with churn and expiry for
+the sliding-window monitoring regime) live in
+:mod:`repro.computation.streams`.
 """
 
 from __future__ import annotations
@@ -26,6 +34,7 @@ import random
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.computation.event import Operation
+from repro.computation.registry import TRACE, register_scenario
 from repro.computation.trace import Computation, ComputationBuilder
 from repro.exceptions import ComputationError
 from repro.graph.bipartite import BipartiteGraph
@@ -250,6 +259,66 @@ def paper_example_trace() -> Computation:
         ("T4", "O3"),
     ]
     return Computation.from_pairs(pairs)
+
+
+# ---------------------------------------------------------------------------
+# Registry entries
+# ---------------------------------------------------------------------------
+# One adapter per generator pins the configuration the CLI and experiment
+# harness run (the registry's trace contract is ``factory(seed)``); the
+# generators above stay directly callable with their full signatures.
+@register_scenario(
+    "paper-example",
+    kind=TRACE,
+    description="the running example of Fig. 1 (fixed; seed ignored)",
+)
+def _paper_example_scenario(seed: SeedLike = None) -> Computation:
+    return paper_example_trace()
+
+
+@register_scenario(
+    "producer-consumer",
+    kind=TRACE,
+    description="producers and consumers sharing a few hot queues",
+)
+def _producer_consumer_scenario(seed: SeedLike = None) -> Computation:
+    return producer_consumer_trace(seed=seed)
+
+
+@register_scenario(
+    "work-stealing",
+    kind=TRACE,
+    description="per-worker deques with occasional cross-worker steals",
+)
+def _work_stealing_scenario(seed: SeedLike = None) -> Computation:
+    return work_stealing_trace(seed=seed)
+
+
+@register_scenario(
+    "lock-hierarchy",
+    kind=TRACE,
+    description="bank transfers guarded by a small global lock hierarchy",
+)
+def _lock_hierarchy_scenario(seed: SeedLike = None) -> Computation:
+    return lock_hierarchy_trace(seed=seed)
+
+
+@register_scenario(
+    "pipeline",
+    kind=TRACE,
+    description="staged pipeline communicating through inter-stage buffers",
+)
+def _pipeline_scenario(seed: SeedLike = None) -> Computation:
+    return pipeline_trace(seed=seed)
+
+
+@register_scenario(
+    "random",
+    kind=TRACE,
+    description="10 threads x 20 objects, 400 events, locality 0.5",
+)
+def _random_scenario(seed: SeedLike = None) -> Computation:
+    return random_trace(10, 20, 400, locality=0.5, seed=seed)
 
 
 def _interleave(

@@ -80,3 +80,7 @@ class RuntimeSystemError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised by the experiment harness for inconsistent configurations."""
+
+
+class ScenarioError(ReproError):
+    """Raised by the scenario registry for unknown or conflicting scenarios."""

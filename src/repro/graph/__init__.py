@@ -6,10 +6,14 @@ This subpackage contains everything combinatorial the paper relies on:
   bipartite graph of a computation (Section III-A).
 * :func:`~repro.graph.matching.hopcroft_karp_matching` and friends -
   maximum bipartite matching (Section III-B, citing Hopcroft-Karp).
-* :class:`~repro.graph.incremental.IncrementalMatching` - maximum matching
-  maintained across edge insertions (one anchored augmenting-path search
-  per insert), powering the per-event offline-optimum trajectory of the
-  online evaluation.
+* :class:`~repro.graph.incremental.DynamicMatching` - maximum matching
+  maintained across edge insertions *and* deletions (at most two anchored
+  augmenting-path searches per mutation), powering the per-event
+  offline-optimum trajectory of the online evaluation and the
+  sliding-window monitoring regime
+  (:func:`~repro.graph.incremental.sliding_window_optimum_trajectory`);
+  :class:`~repro.graph.incremental.IncrementalMatching` is its
+  append-only view.
 * :func:`~repro.graph.vertex_cover.konig_vertex_cover` - Algorithm 1, the
   König-Egerváry construction of a minimum vertex cover from a maximum
   matching.
@@ -42,8 +46,10 @@ from repro.graph.generators import (
     uniform_bipartite,
 )
 from repro.graph.incremental import (
+    DynamicMatching,
     IncrementalMatching,
     incremental_optimum_trajectory,
+    sliding_window_optimum_trajectory,
 )
 from repro.graph.matching import (
     Matching,
@@ -65,6 +71,7 @@ from repro.graph.vertex_cover import (
 
 __all__ = [
     "BipartiteGraph",
+    "DynamicMatching",
     "GraphSpec",
     "IncrementalMatching",
     "Matching",
@@ -93,6 +100,7 @@ __all__ = [
     "object_names",
     "paper_example_graph",
     "powerlaw_bipartite",
+    "sliding_window_optimum_trajectory",
     "star_bipartite",
     "thread_names",
     "uniform_bipartite",

@@ -108,15 +108,30 @@ class BipartiteGraph:
     def remove_edge(self, thread: Vertex, obj: Vertex) -> None:
         """Remove the edge ``(thread, obj)``.
 
-        Raises :class:`GraphError` if the edge does not exist.  Edge removal
-        is not used by the paper's algorithms but is handy in tests and in
-        ablation tooling.
+        Raises :class:`GraphError` if the edge does not exist.  Edge
+        removal is the substrate of the decremental matching engine
+        (sliding-window monitoring); the endpoints stay in the graph even
+        when the removal isolates them - callers that must not accumulate
+        dead vertices (unbounded streams) follow up with
+        :meth:`remove_isolated_vertex`.
         """
         if not self.has_edge(thread, obj):
             raise GraphError(f"edge ({thread!r}, {obj!r}) does not exist")
         self._thread_adj[thread].discard(obj)
         self._object_adj[obj].discard(thread)
         self._edge_count -= 1
+
+    def remove_isolated_vertex(self, vertex: Vertex) -> None:
+        """Remove a vertex that has no incident edge (either side).
+
+        Raises :class:`GraphError` if the vertex still has edges (removing
+        them implicitly would hide bookkeeping bugs in callers) and
+        :class:`UnknownVertexError` if it is not in the graph.
+        """
+        if self.degree(vertex) != 0:
+            raise GraphError(f"vertex {vertex!r} still has incident edges")
+        self._thread_adj.pop(vertex, None)
+        self._object_adj.pop(vertex, None)
 
     # ------------------------------------------------------------------
     # Queries

@@ -1,13 +1,20 @@
-"""Incremental maximum bipartite matching: augment on edge insert.
+"""Dynamic maximum bipartite matching: augment on insert, repair on delete.
 
-The online evaluation (Section V) reveals a thread-object graph one edge
-at a time and wants to know, after *every* reveal, how the online clock
-sizes compare with the offline optimum of the graph revealed so far.
-Recomputing Hopcroft-Karp from scratch per edge costs
-``O(E^2 * sqrt(V))`` over a run; :class:`IncrementalMatching` instead
-maintains a maximum matching across edge insertions.
+The streaming evaluation reveals a thread-object graph one event at a time
+and wants to know, after *every* event, how the online clock sizes compare
+with the offline optimum of the graph currently live.  Two regimes matter:
 
-The engine rests on one classical fact: if a matching is maximum and a
+* **append-only** (the paper's Section V setting): edges are only ever
+  inserted, the optimum only grows;
+* **sliding-window** (live-system monitoring): an event stops mattering
+  once it falls out of the monitoring window, so edges also *expire* and
+  the optimum can shrink again.
+
+Recomputing Hopcroft-Karp from scratch per event costs
+``O(E^2 * sqrt(V))`` over a run; :class:`DynamicMatching` instead
+maintains a maximum matching across both edge insertions and deletions.
+
+Insertion rests on one classical fact: if a matching is maximum and a
 single edge ``(t, o)`` is inserted, the maximum matching size grows by at
 most one, and any augmenting path that now exists must traverse the new
 edge.  Each insert therefore needs at most one (iterative, stack-based)
@@ -26,34 +33,66 @@ alternating-path search anchored at the new edge:
   maximum again; the first phase's re-matching is harmless because it
   preserves both size and validity.
 
-Every phase is a single ``O(V + E)`` sweep, against ``O(E * sqrt(V))``
-for a from-scratch Hopcroft-Karp per insert.  The per-insert matching
-sizes are recorded and exposed through :meth:`optimal_size_trajectory`,
-which by König-Egerváry (Theorem 3 of the paper) is exactly the offline
-optimal clock-size trajectory of the reveal order.
+Deletion is the mirror argument.  Removing a *non-matched* edge never
+invalidates maximality (the matching is untouched and the edge set only
+shrank).  Removing a *matched* edge ``(t, o)`` frees exactly ``t`` and
+``o``; any augmenting path of the shrunken graph must start at ``t`` or
+end at ``o`` (a path avoiding both would have been augmenting before the
+deletion, contradicting maximality), so one thread-side search from ``t``
+and - only if that fails - one object-side search from ``o`` restore
+maximality with at most one re-augmentation.  If both fail the optimum
+has genuinely shrunk by one.
+
+Every search phase is a single ``O(V + E)`` sweep, against
+``O(E * sqrt(V))`` for a from-scratch Hopcroft-Karp per event.  Because
+streamed reveals may repeat a live pair, the engine counts per-edge
+multiplicity: an edge leaves the graph only when *every* live event that
+revealed it has expired.  The minimum-vertex-cover *size* is maintained
+lazily for free (it always equals the matching size, by König-Egerváry /
+Theorem 3 of the paper); the cover's concrete vertex set is materialised
+on demand and cached until the next structural change.
+
+:class:`IncrementalMatching` survives as the append-only subclass, and
+:func:`sliding_window_optimum_trajectory` packages the windowed regime
+for the online simulator and the ratio sweeps.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from collections import deque
+from typing import Deque, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
+from repro.exceptions import GraphError
 from repro.graph.bipartite import BipartiteGraph, Edge, Vertex
 from repro.graph.matching import Matching, augment_from_unmatched_thread
+from repro.graph.vertex_cover import konig_vertex_cover
 
 
-class IncrementalMatching:
-    """A maximum matching maintained across edge insertions.
+class DynamicMatching:
+    """A maximum matching maintained across edge insertions *and* deletions.
 
-    The matching is maximum after every :meth:`add_edge` call; the
-    invariant is what lets each insert get away with a single anchored
-    augmenting-path search (see the module docstring).
+    The matching is maximum after every :meth:`add_edge` and
+    :meth:`remove_edge` call; the invariant is what lets each mutation get
+    away with at most two anchored augmenting-path searches (see the
+    module docstring).  Repeated inserts of a live edge are counted, so a
+    sliding window that expires events one by one only removes the edge
+    from the graph when its last live occurrence leaves.
     """
 
-    def __init__(self, edges: Iterable[Edge] = ()) -> None:
+    def __init__(
+        self, edges: Iterable[Edge] = (), record_trajectory: bool = True
+    ) -> None:
         self._graph = BipartiteGraph()
         self._thread_to_object: Dict[Vertex, Vertex] = {}
         self._object_to_thread: Dict[Vertex, Vertex] = {}
-        self._trajectory: List[int] = []
+        self._multiplicity: Dict[Edge, int] = {}
+        # The per-mutation size history is opt-out: drivers that stream
+        # unbounded workloads and keep their own per-insert samples (the
+        # online simulator, the windowed trajectory helper) disable it so
+        # the engine's memory stays proportional to the *live* graph, not
+        # to the total number of events ever processed.
+        self._trajectory: Optional[List[int]] = [] if record_trajectory else None
+        self._cover_cache: Optional[FrozenSet[Vertex]] = None
         for thread, obj in edges:
             self.add_edge(thread, obj)
 
@@ -62,12 +101,22 @@ class IncrementalMatching:
     # ------------------------------------------------------------------
     @property
     def graph(self) -> BipartiteGraph:
-        """The graph revealed so far."""
+        """The graph currently live (revealed and not expired)."""
         return self._graph
 
     @property
     def size(self) -> int:
         """Current maximum matching size = optimal clock size (Theorem 3)."""
+        return len(self._thread_to_object)
+
+    @property
+    def cover_size(self) -> int:
+        """Current minimum vertex cover size.
+
+        Lazily maintained in the strongest possible sense: by
+        König-Egerváry it always equals the matching size, so no cover is
+        ever constructed to answer this query.
+        """
         return len(self._thread_to_object)
 
     def __len__(self) -> int:
@@ -77,27 +126,50 @@ class IncrementalMatching:
         """The current maximum matching as an immutable :class:`Matching`."""
         return Matching(self._thread_to_object.items())
 
-    def optimal_size_trajectory(self) -> Tuple[int, ...]:
-        """Maximum matching size after each :meth:`add_edge` call so far.
+    def vertex_cover(self) -> FrozenSet[Vertex]:
+        """A minimum vertex cover of the live graph (König construction).
 
-        One entry per call (repeat edges included), so feeding a reveal
-        order through the engine yields the per-event offline-optimum
-        trajectory the competitive-ratio plots need.
+        Computed on demand from the maintained maximum matching and cached
+        until the next structural change (an edge actually entering or
+        leaving the graph), so bursts of queries between events are cheap.
         """
+        if self._cover_cache is None:
+            self._cover_cache = konig_vertex_cover(self._graph, self.matching())
+        return self._cover_cache
+
+    def multiplicity(self, thread: Vertex, obj: Vertex) -> int:
+        """How many live events currently reveal the edge ``(thread, obj)``."""
+        return self._multiplicity.get((thread, obj), 0)
+
+    def optimal_size_trajectory(self) -> Tuple[int, ...]:
+        """Maximum matching size after each mutating call so far.
+
+        One entry per :meth:`add_edge` / :meth:`remove_edge` call (repeat
+        edges included), so feeding a reveal order through the engine
+        yields the per-event offline-optimum trajectory the
+        competitive-ratio plots need.  Raises :class:`GraphError` if the
+        engine was built with ``record_trajectory=False``.
+        """
+        if self._trajectory is None:
+            raise GraphError(
+                "this engine was built with record_trajectory=False; "
+                "sample .size per event instead"
+            )
         return tuple(self._trajectory)
 
     # ------------------------------------------------------------------
     # Insertion
     # ------------------------------------------------------------------
     def add_edge(self, thread: Vertex, obj: Vertex) -> bool:
-        """Insert one edge and restore maximality.
+        """Insert one edge occurrence and restore maximality.
 
         Returns ``True`` iff the maximum matching grew.  Inserting an
-        already-present edge is a no-op (size unchanged), mirroring
-        :meth:`BipartiteGraph.add_edge`.
+        already-live edge only bumps its multiplicity (size unchanged).
         """
         grew = False
         if self._graph.add_edge(thread, obj):
+            self._multiplicity[(thread, obj)] = 1
+            self._cover_cache = None
             thread_matched = thread in self._thread_to_object
             object_matched = obj in self._object_to_thread
             # An augmenting path runs from a free thread to a free object,
@@ -120,13 +192,66 @@ class IncrementalMatching:
                     grew = self._augment_from_object(obj)
             elif free_threads and free_objects:
                 grew = self._augment_through_matched_edge(thread, obj)
-        self._trajectory.append(len(self._thread_to_object))
+        else:
+            self._multiplicity[(thread, obj)] += 1
+        if self._trajectory is not None:
+            self._trajectory.append(len(self._thread_to_object))
         return grew
 
-    def add_edges(self, pairs: Iterable[Edge]) -> "IncrementalMatching":
+    def add_edges(self, pairs: Iterable[Edge]) -> "DynamicMatching":
         """Insert a whole sequence of edges; returns ``self``."""
         for thread, obj in pairs:
             self.add_edge(thread, obj)
+        return self
+
+    # ------------------------------------------------------------------
+    # Deletion
+    # ------------------------------------------------------------------
+    def remove_edge(self, thread: Vertex, obj: Vertex) -> bool:
+        """Expire one edge occurrence and restore maximality.
+
+        Returns ``True`` iff the maximum matching shrank.  While other
+        live occurrences of the edge remain, only the multiplicity drops.
+        Raises :class:`~repro.exceptions.GraphError` if the edge is not
+        live (more expiries than reveals is always a driver bug).
+        """
+        key = (thread, obj)
+        count = self._multiplicity.get(key, 0)
+        if count == 0:
+            raise GraphError(f"edge ({thread!r}, {obj!r}) is not live")
+        shrank = False
+        if count > 1:
+            self._multiplicity[key] = count - 1
+        else:
+            del self._multiplicity[key]
+            self._graph.remove_edge(thread, obj)
+            self._cover_cache = None
+            if self._thread_to_object.get(thread) == obj:
+                # The deleted edge carried the matching: free both
+                # endpoints, then try the only two path families that can
+                # exist (start at the freed thread / end at the freed
+                # object - see the module docstring).
+                del self._thread_to_object[thread]
+                del self._object_to_thread[obj]
+                if not self._augment_from_thread(thread):
+                    shrank = not self._augment_from_object(obj)
+            # Prune endpoints the removal isolated: a degree-0 vertex is
+            # necessarily unmatched (a matched pair is always an edge) and
+            # can never join an augmenting path, and on unbounded streams
+            # with fresh vertex ids the dead vertices would otherwise
+            # accumulate without bound.
+            if self._graph.degree(thread) == 0:
+                self._graph.remove_isolated_vertex(thread)
+            if self._graph.degree(obj) == 0:
+                self._graph.remove_isolated_vertex(obj)
+        if self._trajectory is not None:
+            self._trajectory.append(len(self._thread_to_object))
+        return shrank
+
+    def remove_edges(self, pairs: Iterable[Edge]) -> "DynamicMatching":
+        """Expire a whole sequence of edges; returns ``self``."""
+        for thread, obj in pairs:
+            self.remove_edge(thread, obj)
         return self
 
     # ------------------------------------------------------------------
@@ -149,11 +274,13 @@ class IncrementalMatching:
         Walks unmatched edges from objects to threads and matched edges
         from threads to their objects, looking for an unmatched thread.
         ``root``'s own matched edge (if any) is never taken, so on success
-        the flip re-matches ``root`` away from its current partner.
+        the flip re-matches ``root`` away from its current partner (or
+        simply matches it, if ``root`` was free - the decremental repair
+        case).
 
-        The both-endpoints-matched case passes the new edge's endpoints as
-        ``banned_thread``/``banned_object``: the prefix of a simple
-        augmenting path cannot revisit them.
+        The both-endpoints-matched insert case passes the new edge's
+        endpoints as ``banned_thread``/``banned_object``: the prefix of a
+        simple augmenting path cannot revisit them.
         """
         graph = self._graph
         thread_to_object = self._thread_to_object
@@ -218,11 +345,54 @@ class IncrementalMatching:
         return self._augment_from_thread(thread)
 
 
+class IncrementalMatching(DynamicMatching):
+    """The append-only view of :class:`DynamicMatching`.
+
+    Kept as a named class because the insert-only regime is the paper's
+    own Section V setting and several callers (the offline trajectory
+    helpers, the order-sensitivity analysis) want the name to say what
+    they rely on: the optimum trajectory of an append-only engine is
+    monotone.  The behaviour is exactly the parent's.
+    """
+
+
 def incremental_optimum_trajectory(pairs: Iterable[Edge]) -> Tuple[int, ...]:
     """Maximum-matching size after each pair of ``pairs`` is revealed.
 
     Convenience wrapper over :class:`IncrementalMatching` for callers that
-    only want the trajectory (the online simulator and the
+    only want the append-only trajectory (the online simulator and the
     competitive-ratio analysis).
     """
     return IncrementalMatching(pairs).optimal_size_trajectory()
+
+
+def sliding_window_optimum_trajectory(
+    events: Iterable[Edge], window: int
+) -> Tuple[int, ...]:
+    """Per-event offline optimum of a sliding window over an event stream.
+
+    ``events`` is a (lazy) iterable of revealed ``(thread, object)``
+    pairs; only the most recent ``window`` events are live at any point.
+    Before the ``i``-th event is inserted, the event that fell out of the
+    window (if any) is expired, so ``result[i]`` is the minimum
+    vertex-cover size of the graph formed by events
+    ``i - window + 1 ... i`` - exactly what a monitoring agent that only
+    answers causality queries about recent history needs to provision.
+
+    The stream is consumed one event at a time (never materialised), and
+    repeated pairs inside the window are handled by the engine's
+    multiplicity counts.
+    """
+    if window < 1:
+        raise GraphError(f"window must be >= 1, got {window}")
+    engine = DynamicMatching(record_trajectory=False)
+    live: Deque[Edge] = deque()
+    sizes: List[int] = []
+    for thread, obj in events:
+        if len(live) == window:
+            old_thread, old_obj = live.popleft()
+            engine.remove_edge(old_thread, old_obj)
+        live.append((thread, obj))
+        engine.add_edge(thread, obj)
+        sizes.append(engine.size)
+    return tuple(sizes)

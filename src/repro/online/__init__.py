@@ -12,8 +12,10 @@ from repro.online.sensitivity import (
     order_sensitivity,
 )
 from repro.online.simulator import (
+    OFFLINE_LABEL,
     OnlineRunResult,
     compare_mechanisms,
+    compare_mechanisms_on_stream,
     offline_optimum_result,
     reveal_order,
     run_mechanism,
@@ -26,6 +28,7 @@ __all__ = [
     "HybridMechanism",
     "NaiveMechanism",
     "OBJECT",
+    "OFFLINE_LABEL",
     "OnlineClockProtocol",
     "OnlineMechanism",
     "OnlineRunResult",
@@ -35,6 +38,7 @@ __all__ = [
     "SparseTimestamp",
     "THREAD",
     "compare_mechanisms",
+    "compare_mechanisms_on_stream",
     "compare_order_sensitivity",
     "offline_optimum_result",
     "order_sensitivity",

@@ -1,23 +1,35 @@
-"""Online simulation driver: reveal a computation or graph edge by edge.
+"""Online simulation driver: stream events past mechanisms and the optimum.
 
 The evaluation in Section V feeds random bipartite graphs to the online
 mechanisms "as we reveal the edge of the graph one by one".  This module
-provides that driver:
+generalises that driver to the streaming model: the unit of input is a
+lazy stream of :class:`~repro.computation.streams.StreamEvent` (inserts
+*and* expires), consumed exactly once, with every mechanism and the
+dynamic offline optimum advancing in lock-step per event.  Nothing
+proportional to the stream length is materialised beyond the recorded
+trajectories themselves, so unbounded monitoring streams and windowed
+workloads run in one pass.
 
 * :func:`reveal_order` turns a bipartite graph into a random edge-reveal
   order (each edge is one event, matching the paper's setup where repeated
   operations on the same pair change nothing).  Before shuffling, edges
-  are canonicalised by a ``(type name, repr)`` sort key per endpoint, so
-  graphs mixing vertex types (e.g. the int ``1`` and the str ``"1"``)
-  still reveal deterministically for a given seed;
+  are canonicalised by a ``(type name, repr)`` sort key computed *once per
+  vertex*, so graphs mixing vertex types (e.g. the int ``1`` and the str
+  ``"1"``) still reveal deterministically for a given seed;
 * :func:`run_mechanism` feeds a pair sequence to a mechanism and records
   the clock-size trajectory;
-* :func:`compare_mechanisms` runs several mechanisms (and optionally the
-  offline optimum) on identical reveal orders and returns one
-  :class:`OnlineRunResult` per mechanism - the raw material of Figs. 4-7.
+* :func:`compare_mechanisms_on_stream` is the streaming core: it runs
+  several mechanisms plus a
+  :class:`~repro.graph.incremental.DynamicMatching` engine over one lazy
+  event stream (optionally imposing a sliding window), recording one
+  clock-size sample per *insert* so all trajectories stay aligned.
+  Mechanisms ignore expire events (an online clock never shrinks - that
+  is the whole point of the competitive analysis); the offline optimum
+  consumes them, so with a window its trajectory can dip back down.
+* :func:`compare_mechanisms` keeps the classic graph-input surface of
+  Figs. 4-7 and now simply routes a reveal order through the stream core.
   The ``"offline"`` entry is a true per-event optimum trajectory: the
-  minimum-vertex-cover size of every revealed prefix, maintained by
-  :class:`~repro.graph.incremental.IncrementalMatching` in one pass.
+  minimum-vertex-cover size of every revealed (non-expired) prefix.
   Dividing an online trajectory by it pointwise gives the
   competitive-ratio-over-time series (:func:`competitive_ratio_trajectory`
   in :mod:`repro.analysis.metrics`).
@@ -25,26 +37,31 @@ provides that driver:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.computation.streams import EventLike, as_stream_event, sliding_window
 from repro.computation.trace import Computation
 from repro.graph.bipartite import BipartiteGraph, Vertex
 from repro.graph.generators import SeedLike, _rng
-from repro.graph.incremental import incremental_optimum_trajectory
+from repro.graph.incremental import DynamicMatching, incremental_optimum_trajectory
 from repro.online.base import OnlineMechanism
 
 Pair = Tuple[Vertex, Vertex]
 MechanismFactory = Callable[[], OnlineMechanism]
 
+#: Key under which the offline optimum series is reported.
+OFFLINE_LABEL = "offline"
+
 
 @dataclass(frozen=True)
 class OnlineRunResult:
-    """Outcome of running one mechanism over one reveal order.
+    """Outcome of running one mechanism over one reveal order / stream.
 
     ``size_trajectory[i]`` is the clock size after the ``i``-th revealed
-    event (so the final clock size is ``size_trajectory[-1]``, also exposed
-    as :attr:`final_size`).
+    *insert* event (so the final clock size is ``size_trajectory[-1]``,
+    also exposed as :attr:`final_size`).  Expire events do not add
+    samples; they only affect what the offline optimum's next sample sees.
     """
 
     mechanism_name: str
@@ -84,13 +101,23 @@ def reveal_order(graph: BipartiteGraph, seed: SeedLike = None) -> List[Pair]:
 
     Each edge appears exactly once; the shuffle models the unpredictability
     of the online setting while keeping the final revealed graph equal to
-    ``graph``.  The edges are canonically sorted (by the key above) before
-    shuffling, so for vertices with discriminating reprs the order depends
-    only on ``seed`` and the edge set; see :func:`_vertex_sort_key` for
-    the one remaining tie case (same-type vertices with identical reprs).
+    ``graph``.  The edges are canonically sorted before shuffling, so for
+    vertices with discriminating reprs the order depends only on ``seed``
+    and the edge set; see :func:`_vertex_sort_key` for the one remaining
+    tie case (same-type vertices with identical reprs).
+
+    The per-vertex ``(type name, repr)`` key is computed once per vertex
+    and cached for the sort, not re-derived per comparison: a vertex of
+    degree ``d`` participates in ``O(d log E)`` comparisons, and ``repr``
+    on user-defined vertex types is arbitrarily expensive.
     """
     rng = _rng(seed)
-    edges = sorted(graph.edges(), key=_edge_sort_key)
+    keys: Dict[Vertex, Tuple[str, str]] = {}
+    for vertex in graph.threads:
+        keys[vertex] = _vertex_sort_key(vertex)
+    for vertex in graph.objects:
+        keys[vertex] = _vertex_sort_key(vertex)
+    edges = sorted(graph.edges(), key=lambda edge: (keys[edge[0]], keys[edge[1]]))
     rng.shuffle(edges)
     return edges
 
@@ -127,6 +154,73 @@ def run_mechanism_on_computation(
     return run_mechanism(mechanism, computation.to_pairs())
 
 
+def compare_mechanisms_on_stream(
+    events: Iterable[EventLike],
+    factories: Dict[str, MechanismFactory],
+    include_offline: bool = True,
+    window: Optional[int] = None,
+) -> Dict[str, OnlineRunResult]:
+    """Run several mechanisms and the dynamic optimum over one event stream.
+
+    The stream is consumed exactly once, one event at a time; bare
+    ``(thread, object)`` pairs are accepted and treated as inserts.  On
+    each insert every mechanism observes the pair and every consumer
+    records one trajectory sample; on each expire only the
+    :class:`~repro.graph.incremental.DynamicMatching` engine reacts
+    (online clocks never shrink).  With ``window`` set, the insert-only
+    input is wrapped in :func:`~repro.computation.streams.sliding_window`
+    first; streams that emit their own expire events must pass
+    ``window=None``.
+
+    Returns one :class:`OnlineRunResult` per factory label, plus an
+    ``"offline"`` entry when ``include_offline`` is true whose trajectory
+    is the per-insert minimum-vertex-cover size of the *live* (windowed /
+    non-expired) graph.
+    """
+    if window is not None:
+        events = sliding_window(events, window)
+    mechanisms = {label: factory() for label, factory in factories.items()}
+    trajectories: Dict[str, List[int]] = {label: [] for label in mechanisms}
+    # The engine keeps no mutation history of its own (the per-insert
+    # samples below are the record), so its footprint tracks the live
+    # graph rather than the total stream length.
+    engine = DynamicMatching(record_trajectory=False) if include_offline else None
+    offline_sizes: List[int] = []
+    inserts = 0
+    for item in events:
+        event = as_stream_event(item)
+        if event.is_insert:
+            inserts += 1
+            for label, mechanism in mechanisms.items():
+                mechanism.observe(event.thread, event.obj)
+                trajectories[label].append(mechanism.clock_size)
+            if engine is not None:
+                engine.add_edge(event.thread, event.obj)
+                offline_sizes.append(engine.size)
+        elif engine is not None:
+            engine.remove_edge(event.thread, event.obj)
+    results: Dict[str, OnlineRunResult] = {}
+    for label, mechanism in mechanisms.items():
+        results[label] = OnlineRunResult(
+            mechanism_name=mechanism.name,
+            final_size=mechanism.clock_size,
+            size_trajectory=tuple(trajectories[label]),
+            thread_components=len(mechanism.thread_components),
+            object_components=len(mechanism.object_components),
+            events_revealed=mechanism.events_seen,
+        )
+    if engine is not None:
+        results[OFFLINE_LABEL] = OnlineRunResult(
+            mechanism_name="offline-optimal",
+            final_size=offline_sizes[-1] if offline_sizes else 0,
+            size_trajectory=tuple(offline_sizes),
+            thread_components=-1,
+            object_components=-1,
+            events_revealed=inserts,
+        )
+    return results
+
+
 def compare_mechanisms(
     graph: BipartiteGraph,
     factories: Dict[str, MechanismFactory],
@@ -134,6 +228,10 @@ def compare_mechanisms(
     include_offline: bool = False,
 ) -> Dict[str, OnlineRunResult]:
     """Run several mechanisms on the *same* reveal order of ``graph``.
+
+    A thin wrapper over :func:`compare_mechanisms_on_stream`: the graph's
+    reveal order is the (append-only) event stream, consumed in a single
+    pass shared by all mechanisms.
 
     Parameters
     ----------
@@ -150,12 +248,9 @@ def compare_mechanisms(
         competitive-ratio-over-time analysis.
     """
     order = reveal_order(graph, seed=seed)
-    results: Dict[str, OnlineRunResult] = {}
-    for label, factory in factories.items():
-        results[label] = run_mechanism(factory(), order)
-    if include_offline:
-        results["offline"] = offline_optimum_result(order)
-    return results
+    return compare_mechanisms_on_stream(
+        order, factories, include_offline=include_offline
+    )
 
 
 def offline_optimum_result(order: Sequence[Pair]) -> OnlineRunResult:

@@ -20,6 +20,21 @@ class TestParser:
         assert "producer-consumer" in WORKLOADS
         assert "paper-example" in WORKLOADS
 
+    def test_workloads_derived_from_registry(self):
+        # The CLI no longer keeps its own workload table: choices, help
+        # text and error messages all come from the scenario registry.
+        from repro.computation import REGISTRY, TRACE
+
+        assert tuple(sorted(WORKLOADS)) == REGISTRY.names(TRACE)
+        for name in WORKLOADS:
+            assert WORKLOADS[name] is REGISTRY.get(name, kind=TRACE).factory
+
+    def test_generate_help_lists_registered_descriptions(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate", "--help"])
+        out = capsys.readouterr().out
+        assert "producer-consumer:" in out  # description line from the registry
+
 
 class TestDemo:
     def test_demo_prints_cover_and_timestamps(self, capsys):
@@ -85,3 +100,34 @@ class TestSweep:
         out = capsys.readouterr().out
         assert "node-sweep-nonuniform" in out
         assert "offline" in out
+
+    def test_ratio_sweep_scopes_to_one_scenario_and_cell(self, capsys):
+        assert main(["sweep", "ratio", "--scenario", "phase-change",
+                     "--nodes", "10", "--density", "0.1", "--trials", "1",
+                     "--window", "20", "--burn-in", "5", "--tail", "5",
+                     "--events", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "ratio-sweep-phase-change" in out
+        assert "thread-churn" not in out
+        assert "0.10" in out and "10" in out  # the requested grid cell
+
+    def test_stream_scenario_on_graph_axis_fails_cleanly(self, capsys):
+        assert main(["sweep", "density", "--scenario", "thread-churn",
+                     "--trials", "1"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "graph scenario" in err
+
+    def test_graph_scenario_on_ratio_axis_fails_cleanly(self, capsys):
+        assert main(["sweep", "ratio", "--scenario", "uniform",
+                     "--trials", "1"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_ratio_sweep_prints_burn_in_vs_steady_tables(self, capsys):
+        assert main(["sweep", "ratio", "--trials", "1", "--window", "20",
+                     "--burn-in", "5", "--tail", "5", "--events", "60"]) == 0
+        out = capsys.readouterr().out
+        # One burn-in/steady-state table per registered stream scenario.
+        for scenario in ("hot-object-drift", "phase-change", "thread-churn"):
+            assert f"ratio-sweep-{scenario}" in out
+        assert ":burn" in out and ":steady" in out
+        assert "burn-in first 5" in out and "steady last 5" in out

@@ -1,0 +1,267 @@
+"""Tests for the dynamic (insert + delete) matching engine.
+
+The decremental path is cross-checked the same way the incremental one
+was in PR 1: against from-scratch computations on the live edge multiset
+after *every* mutation, so the per-event optimum trajectory is exact in
+both regimes.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import GraphError
+from repro.graph import (
+    BipartiteGraph,
+    DynamicMatching,
+    IncrementalMatching,
+    chain_bipartite,
+    hopcroft_karp_matching,
+    is_maximum_matching,
+    minimum_vertex_cover,
+    sliding_window_optimum_trajectory,
+    validate_matching,
+    validate_vertex_cover,
+)
+
+SETTINGS = settings(max_examples=40, deadline=None)
+
+THREADS = ["T0", "T1", "T2", "T3", "T4"]
+OBJECTS = ["O0", "O1", "O2", "O3", "O4"]
+
+# A script of (is_insert, thread, obj) steps; deletions are resolved
+# against the live multiset at replay time (a delete step with no live
+# edges is skipped), so every generated script is valid by construction.
+mutation_scripts = st.lists(
+    st.tuples(
+        st.booleans(),
+        st.sampled_from(THREADS),
+        st.sampled_from(OBJECTS),
+        st.integers(min_value=0, max_value=10_000),
+    ),
+    min_size=0,
+    max_size=40,
+)
+
+pair_streams = st.lists(
+    st.tuples(st.sampled_from(THREADS), st.sampled_from(OBJECTS)),
+    min_size=0,
+    max_size=40,
+)
+
+
+def _replay(script):
+    """Replay a mutation script; yield (engine, live multiset) per step."""
+    engine = DynamicMatching()
+    live = {}
+    for is_insert, thread, obj, pick in script:
+        if is_insert or not live:
+            engine.add_edge(thread, obj)
+            live[(thread, obj)] = live.get((thread, obj), 0) + 1
+        else:
+            edge = sorted(live)[pick % len(live)]
+            engine.remove_edge(*edge)
+            live[edge] -= 1
+            if not live[edge]:
+                del live[edge]
+        yield engine, dict(live)
+
+
+# ---------------------------------------------------------------------------
+# Interleaved insert/delete vs from-scratch (satellite: property test)
+# ---------------------------------------------------------------------------
+@SETTINGS
+@given(mutation_scripts)
+def test_interleaved_mutations_match_from_scratch_cover_at_every_prefix(script):
+    for engine, live in _replay(script):
+        reference = BipartiteGraph(edges=list(live))
+        assert engine.size == len(minimum_vertex_cover(reference))
+        assert engine.cover_size == engine.size
+
+
+@SETTINGS
+@given(mutation_scripts)
+def test_interleaved_mutations_keep_matching_valid_and_maximum(script):
+    for engine, _ in _replay(script):
+        matching = engine.matching()
+        validate_matching(engine.graph, matching)
+        assert is_maximum_matching(engine.graph, matching)
+
+
+@SETTINGS
+@given(mutation_scripts)
+def test_lazy_vertex_cover_is_a_valid_minimum_cover(script):
+    for engine, _ in _replay(script):
+        cover = engine.vertex_cover()
+        validate_vertex_cover(engine.graph, cover)
+        assert len(cover) == engine.size
+        # The cache must serve repeat queries identically.
+        assert engine.vertex_cover() is cover
+
+
+# ---------------------------------------------------------------------------
+# Deletion semantics
+# ---------------------------------------------------------------------------
+class TestRemoveEdge:
+    def test_removing_unmatched_edge_keeps_size(self):
+        engine = DynamicMatching([("T0", "O0"), ("T0", "O1"), ("T1", "O0")])
+        assert engine.size == 2
+        # (T0, O0) cannot be in the matching together with both others;
+        # remove whichever edge is unmatched and the size must hold.
+        matching = dict(engine.matching())
+        unmatched = next(
+            (t, o)
+            for t, o in [("T0", "O0"), ("T0", "O1"), ("T1", "O0")]
+            if matching.get(t) != o
+        )
+        assert engine.remove_edge(*unmatched) is False
+        assert engine.size == 2
+
+    def test_removing_matched_edge_reaugments_when_possible(self):
+        # On the 2x2 complete graph every thread has an alternative
+        # partner, so deleting any matched edge must re-augment along the
+        # 3-hop alternating path and keep the size at 2.
+        engine = DynamicMatching(
+            [("T0", "O0"), ("T0", "O1"), ("T1", "O0"), ("T1", "O1")]
+        )
+        thread, matched_obj = next(iter(engine.matching()))
+        assert engine.remove_edge(thread, matched_obj) is False
+        assert engine.size == 2
+
+    def test_removing_only_edge_shrinks(self):
+        engine = DynamicMatching([("T0", "O0")])
+        assert engine.remove_edge("T0", "O0") is True
+        assert engine.size == 0
+        assert engine.graph.num_edges == 0
+
+    def test_multiplicity_keeps_edge_alive(self):
+        engine = DynamicMatching([("T0", "O0"), ("T0", "O0")])
+        assert engine.multiplicity("T0", "O0") == 2
+        assert engine.remove_edge("T0", "O0") is False
+        assert engine.size == 1
+        assert engine.graph.has_edge("T0", "O0")
+        assert engine.remove_edge("T0", "O0") is True
+        assert engine.size == 0
+
+    def test_removing_non_live_edge_raises(self):
+        engine = DynamicMatching([("T0", "O0")])
+        with pytest.raises(GraphError):
+            engine.remove_edge("T0", "O1")
+        engine.remove_edge("T0", "O0")
+        with pytest.raises(GraphError):
+            engine.remove_edge("T0", "O0")
+
+    def test_trajectory_records_removals(self):
+        engine = DynamicMatching()
+        engine.add_edge("T0", "O0")
+        engine.add_edge("T1", "O1")
+        engine.remove_edge("T0", "O0")
+        assert engine.optimal_size_trajectory() == (1, 2, 1)
+
+    def test_trajectory_recording_can_be_disabled(self):
+        engine = DynamicMatching(record_trajectory=False)
+        engine.add_edge("T0", "O0")
+        with pytest.raises(GraphError):
+            engine.optimal_size_trajectory()
+        assert engine.size == 1
+
+    def test_isolated_endpoints_are_pruned_on_removal(self):
+        # Memory on unbounded streams must track the live graph, not the
+        # total vertex history: fully expired vertices leave the graph.
+        engine = DynamicMatching([("T0", "O0"), ("T0", "O1")])
+        engine.remove_edge("T0", "O1")
+        assert not engine.graph.has_object("O1")
+        assert engine.graph.has_thread("T0")
+        engine.remove_edge("T0", "O0")
+        assert engine.graph.num_vertices == 0
+
+    def test_memory_stays_bounded_on_fresh_vertex_stream(self):
+        # A window of 2 over a stream of always-fresh vertex ids: at most
+        # 2 edges (4 vertices) may ever be live at once.
+        engine = DynamicMatching(record_trajectory=False)
+        from collections import deque
+
+        live = deque()
+        for i in range(500):
+            if len(live) == 2:
+                engine.remove_edge(*live.popleft())
+            edge = (f"T{i}", f"O{i}")
+            live.append(edge)
+            engine.add_edge(*edge)
+            assert engine.graph.num_vertices <= 4
+
+
+# ---------------------------------------------------------------------------
+# Chain regression (satellite: iterative-search guard at 10k vertices)
+# ---------------------------------------------------------------------------
+def test_chain_10k_vertices_survives_deletion_reaugmentation():
+    # A perfect-matching chain forces O(V)-hop alternating paths.  After
+    # deleting a matched edge near one end, the repair search sweeps the
+    # whole chain; a recursive implementation would blow the interpreter
+    # stack long before 10k vertices.
+    graph = chain_bipartite(10_000)
+    edges = list(graph.edges())
+    random.Random(7).shuffle(edges)
+    engine = DynamicMatching(edges)
+    assert engine.size == 5_000
+    # Delete a handful of matched edges spread across the chain; each
+    # deletion either re-augments over a long path or certifiably shrinks
+    # the optimum by one.
+    removed = 0
+    for thread, obj in list(engine.matching())[:5]:
+        engine.remove_edge(thread, obj)
+        removed += 1
+    reference = hopcroft_karp_matching(engine.graph)
+    assert engine.size == len(reference)
+    assert is_maximum_matching(engine.graph, engine.matching())
+
+
+# ---------------------------------------------------------------------------
+# Sliding-window trajectory (acceptance criterion property test)
+# ---------------------------------------------------------------------------
+@SETTINGS
+@given(pair_streams, st.integers(min_value=1, max_value=12))
+def test_sliding_window_trajectory_matches_from_scratch(events, window):
+    trajectory = sliding_window_optimum_trajectory(iter(events), window)
+    assert len(trajectory) == len(events)
+    for index in range(len(events)):
+        live = events[max(0, index - window + 1): index + 1]
+        reference = BipartiteGraph(edges=live)
+        assert trajectory[index] == len(minimum_vertex_cover(reference))
+
+
+def test_sliding_window_consumes_stream_lazily():
+    def stream():
+        yield ("T0", "O0")
+        yield ("T1", "O1")
+        yield ("T0", "O1")
+
+    # After the third event the window holds {(T1,O1), (T0,O1)}: both
+    # edges share O1, so the optimum drops back to 1.
+    assert sliding_window_optimum_trajectory(stream(), window=2) == (1, 2, 1)
+
+
+def test_sliding_window_rejects_bad_window():
+    with pytest.raises(GraphError):
+        sliding_window_optimum_trajectory([("T0", "O0")], window=0)
+
+
+def test_sliding_window_optimum_can_shrink():
+    # Three disjoint edges through a window of 2: the optimum rises to 2
+    # and stays there, but the *components* rotate; with a window of 1 the
+    # optimum must drop back to 1 after every event.
+    events = [("T0", "O0"), ("T1", "O1"), ("T2", "O2")]
+    assert sliding_window_optimum_trajectory(events, window=1) == (1, 1, 1)
+    assert sliding_window_optimum_trajectory(events, window=3) == (1, 2, 3)
+
+
+# ---------------------------------------------------------------------------
+# Backward compatibility
+# ---------------------------------------------------------------------------
+def test_incremental_matching_is_the_append_only_view():
+    assert issubclass(IncrementalMatching, DynamicMatching)
+    engine = IncrementalMatching([("T0", "O0"), ("T1", "O0")])
+    assert engine.optimal_size_trajectory() == (1, 1)

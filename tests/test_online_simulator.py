@@ -58,6 +58,35 @@ class TestRevealOrder:
 
         assert _edge_sort_key((1, "O")) != _edge_sort_key(("1", "O"))
 
+    def test_sort_keys_computed_once_per_vertex(self):
+        # The canonicalisation key used to be re-derived per comparison
+        # (O(d log E) repr calls per vertex); it is now cached, so one
+        # reveal_order call costs exactly one repr per vertex.
+        from repro.graph import BipartiteGraph
+
+        class Counting:
+            calls = 0
+
+            def __init__(self, label):
+                self.label = label
+
+            def __repr__(self):
+                type(self).calls += 1
+                return f"Counting({self.label})"
+
+        threads = [Counting(i) for i in range(6)]
+        graph = BipartiteGraph(
+            edges=[(t, f"O{j}") for t in threads for j in range(5)]
+        )
+        Counting.calls = 0
+        first = reveal_order(graph, seed=9)
+        assert Counting.calls == len(threads)
+        assert len(first) == graph.num_edges
+
+        # Determinism on mixed-type graphs is unchanged by the caching.
+        Counting.calls = 0
+        assert reveal_order(graph, seed=9) == first
+
 
 class TestRunMechanism:
     def test_trajectory_is_monotone_and_bounded(self):
