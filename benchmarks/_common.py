@@ -39,6 +39,11 @@ if SMOKE:
     STREAM_TRIALS = 1
     STREAM_BURN_IN = 30
     STREAM_TAIL = 30
+    ENGINE_EVENTS = 2_000
+    ENGINE_SHARDS = 4
+    ENGINE_CHUNK = 500
+    ENGINE_JOBS = [1, 2]
+    ENGINE_NODES = 40
 else:
     #: Densities swept in Figs. 4 and 6.
     FIG4_DENSITIES = [0.01, 0.02, 0.05, 0.10, 0.15, 0.20, 0.30, 0.40, 0.50]
@@ -66,6 +71,18 @@ else:
     STREAM_BURN_IN = 200
     #: Trailing events summarised as steady state.
     STREAM_TAIL = 200
+    #: Insert events in the engine-scaling run (the ROADMAP's million-event
+    #: target; expires ride on top, so the stream is longer than this).
+    ENGINE_EVENTS = 1_200_000
+    #: Logical shards of the scaling run (fixed across worker counts - the
+    #: shard structure is part of the result's identity, jobs is not).
+    ENGINE_SHARDS = 8
+    #: Inserts per chunk (the checkpoint granularity).
+    ENGINE_CHUNK = 100_000
+    #: Worker counts swept by the scaling benchmark.
+    ENGINE_JOBS = [1, 2, 4, 8]
+    #: Threads/objects per side of the engine-scaling stream.
+    ENGINE_NODES = 200
 
 #: Nodes per side in the density sweeps (the paper uses 50 threads / 50 objects).
 FIG4_NODES = 50

@@ -14,20 +14,19 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis import competitive_ratio_over_time, format_series
-from repro.graph import nonuniform_bipartite, uniform_bipartite
+from repro.computation import GRAPH, REGISTRY
 
 from _common import FIG4_NODES, FIG5_DENSITY, write_result
 
-GENERATORS = {
-    "uniform": uniform_bipartite,
-    "nonuniform": nonuniform_bipartite,
-}
-
 
 @pytest.mark.benchmark(group="competitive-ratio")
-@pytest.mark.parametrize("scenario", sorted(GENERATORS))
+@pytest.mark.parametrize("scenario", REGISTRY.names(GRAPH))
 def test_competitive_ratio_over_time(benchmark, record_table, scenario):
-    graph = GENERATORS[scenario](FIG4_NODES, FIG4_NODES, FIG5_DENSITY, seed=8_000)
+    # Registry-driven: a newly registered graph family automatically gets
+    # its ratio-over-time table, with no benchmark edit.
+    graph = REGISTRY.get(scenario, kind=GRAPH).build(
+        FIG4_NODES, FIG4_NODES, FIG5_DENSITY, seed=8_000
+    )
 
     def run():
         return competitive_ratio_over_time(graph, seed=8_001)

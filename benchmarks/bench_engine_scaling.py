@@ -1,0 +1,97 @@
+"""Extra experiment E9: sharded engine throughput vs worker count.
+
+The ROADMAP's scaling item asks for a benchmark that pushes the dynamic
+streaming machinery to millions of events; this is it.  One thread-churn
+configuration (1.2M inserts in the full run, shrunken under ``--smoke``)
+is executed by the sharded engine at increasing ``jobs`` counts, and the
+table reports events/sec per worker count plus the speedup over the
+serial backend.
+
+Two properties are asserted while the numbers are collected:
+
+* every worker count produces a bit-identical merged result (the
+  engine's central determinism contract - the fingerprint is the proof);
+* the stride-sampled trajectories and pooled ratio statistics are
+  populated for every mechanism, i.e. the merged partials actually carry
+  the metrics the analysis layer consumes.
+
+Scaling expectation, for reading the table rather than asserting on it
+(CI machines share cores): near-linear until ``jobs`` approaches the
+shard count or the physical core count, then flat - the residual serial
+cost is stream regeneration, which every worker pays per shard.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.engine import EngineConfig, run_engine
+
+from _common import (
+    ENGINE_CHUNK,
+    ENGINE_EVENTS,
+    ENGINE_JOBS,
+    ENGINE_NODES,
+    ENGINE_SHARDS,
+)
+
+CONFIG = EngineConfig(
+    scenario="thread-churn",
+    num_threads=ENGINE_NODES,
+    num_objects=2 * ENGINE_NODES,
+    density=0.1,
+    num_events=ENGINE_EVENTS,
+    seed=9_200,
+    num_shards=ENGINE_SHARDS,
+    chunk_size=ENGINE_CHUNK,
+)
+
+
+@pytest.mark.benchmark(group="engine-scaling")
+def test_engine_scaling_events_per_second(benchmark, record_table):
+    def run_all():
+        runs = []
+        for jobs in ENGINE_JOBS:
+            start = time.perf_counter()
+            result = run_engine(CONFIG, jobs=jobs)
+            runs.append((jobs, time.perf_counter() - start, result))
+        return runs
+
+    runs = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    fingerprints = {result.fingerprint() for _, _, result in runs}
+    assert len(fingerprints) == 1, "worker count changed the merged metrics"
+
+    reference = runs[0][2]
+    assert reference.inserts == ENGINE_EVENTS
+    for label in CONFIG.mechanisms:
+        pooled = reference.pooled_ratios(label)
+        assert pooled.count == sum(
+            fragment.ratios.count
+            for (_, lbl), fragment in reference.partial.series.items()
+            if lbl == label
+        )
+        assert pooled.minimum >= 1.0 - 1e-9  # online never beats the optimum
+        for shard in reference.partial.shard_ids():
+            assert reference.partial.fragment(shard, label).samples
+
+    serial_elapsed = runs[0][1]
+    lines = [
+        f"scenario: thread-churn  inserts: {ENGINE_EVENTS:,}  "
+        f"shards: {ENGINE_SHARDS}  chunk: {ENGINE_CHUNK:,}  "
+        f"nodes: {ENGINE_NODES}+{2 * ENGINE_NODES}",
+        f"fingerprint (identical for every jobs value): "
+        f"{reference.fingerprint()[:16]}...",
+        "",
+        f"{'jobs':>4}  {'seconds':>8}  {'events/s':>10}  {'speedup':>7}",
+    ]
+    total_events = reference.inserts + reference.expires
+    for jobs, elapsed, _ in runs:
+        rate = total_events / elapsed if elapsed else float("inf")
+        lines.append(
+            f"{jobs:>4}  {elapsed:>8.2f}  {rate:>10,.0f}  "
+            f"{serial_elapsed / elapsed if elapsed else float('inf'):>6.2f}x"
+        )
+    record_table("engine_scaling", "\n".join(lines))

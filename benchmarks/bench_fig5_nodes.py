@@ -16,6 +16,7 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis import format_sweep, node_sweep, sweep_crossovers
+from repro.computation import GRAPH, REGISTRY
 
 from _common import FIG5_DENSITY, FIG5_NODE_COUNTS, TRIALS
 
@@ -30,15 +31,30 @@ def _run(scenario: str):
     )
 
 
+#: Families with paper-derived shape assertions; other registered families
+#: still run the sweep but are only held to size-bound sanity checks.
+PAPER_SCENARIOS = ("uniform", "nonuniform")
+
+
 @pytest.mark.benchmark(group="fig5-nodes")
-@pytest.mark.parametrize("scenario", ["uniform", "nonuniform"])
+@pytest.mark.parametrize("scenario", REGISTRY.names(GRAPH))
 def test_fig5_vector_size_vs_node_count(benchmark, record_table, scenario):
+    # Registry-driven: every registered graph family gets the node sweep;
+    # the paper's empirical shapes stay gated to uniform/nonuniform (a new
+    # family is free to violate them).
     result = benchmark.pedantic(_run, args=(scenario,), rounds=1, iterations=1)
 
     crossings = sweep_crossovers(result, baseline="thread_clock")
     text = format_sweep(result) + "\n\ncrossover vs flat Naive (=n) line: " + repr(crossings)
     record_table(f"fig5_nodes_{scenario}", text)
 
+    # Family-independent sanity: a mixed clock never exceeds n + m.
+    for point, nodes in zip(result.points, FIG5_NODE_COUNTS):
+        for mechanism in ("naive", "random", "popularity"):
+            assert 0 < point.sizes[mechanism].mean <= 2 * nodes
+
+    if scenario not in PAPER_SCENARIOS:
+        return
     # Clock sizes grow with the number of nodes (compare first and last point).
     for mechanism in ("naive", "random", "popularity"):
         assert result.series(mechanism)[-1] > result.series(mechanism)[0]

@@ -19,6 +19,7 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis import density_sweep, format_sweep
+from repro.computation import GRAPH, REGISTRY
 
 from _common import FIG4_DENSITIES, FIG4_NODES, TRIALS
 
@@ -35,9 +36,17 @@ def _run(scenario: str):
     )
 
 
+#: Families with paper-derived shape assertions; other registered families
+#: still run the sweep but are only held to the weak-duality invariants.
+PAPER_SCENARIOS = ("uniform", "nonuniform")
+
+
 @pytest.mark.benchmark(group="fig6-offline-vs-online-density")
-@pytest.mark.parametrize("scenario", ["uniform", "nonuniform"])
+@pytest.mark.parametrize("scenario", REGISTRY.names(GRAPH))
 def test_fig6_offline_vs_online_vs_density(benchmark, record_table, scenario):
+    # Registry-driven: weak duality (offline optimum below every online
+    # mechanism) is family-independent, so every registered family runs
+    # the full sweep and the duality checks.
     result = benchmark.pedantic(_run, args=(scenario,), rounds=1, iterations=1)
     record_table(f"fig6_offline_vs_online_density_{scenario}", format_sweep(result))
 
@@ -51,8 +60,11 @@ def test_fig6_offline_vs_online_vs_density(benchmark, record_table, scenario):
         assert offline <= point.sizes["naive"].mean + 1e-9
         assert offline <= n
         gaps.append(popularity - offline)
-    # The offline algorithm beats the flat Naive line at low density ...
-    assert result.points[0].offline.mean < n
-    # ... and the Popularity-vs-optimal gap grows with density (compare the
-    # sparse and dense ends of the sweep).
-    assert gaps[-1] > gaps[0]
+    if scenario in PAPER_SCENARIOS:
+        # Empirical shapes from the paper's figures (not invariants - a
+        # newly registered family is free to violate them).
+        # The offline algorithm beats the flat Naive line at low density ...
+        assert result.points[0].offline.mean < n
+        # ... and the Popularity-vs-optimal gap grows with density (compare
+        # the sparse and dense ends of the sweep).
+        assert gaps[-1] > gaps[0]

@@ -19,6 +19,7 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis import format_sweep, node_sweep
+from repro.computation import GRAPH, REGISTRY
 
 from _common import FIG5_DENSITY, FIG5_NODE_COUNTS, TRIALS
 
@@ -34,9 +35,16 @@ def _run(scenario: str):
     )
 
 
+#: Families with paper-derived shape assertions; other registered families
+#: still run the sweep but are only held to the weak-duality invariants.
+PAPER_SCENARIOS = ("uniform", "nonuniform")
+
+
 @pytest.mark.benchmark(group="fig7-offline-vs-online-nodes")
-@pytest.mark.parametrize("scenario", ["uniform", "nonuniform"])
+@pytest.mark.parametrize("scenario", REGISTRY.names(GRAPH))
 def test_fig7_offline_vs_online_vs_node_count(benchmark, record_table, scenario):
+    # Registry-driven: every registered family runs the sweep and the
+    # weak-duality checks; the paper's empirical shapes stay gated.
     result = benchmark.pedantic(_run, args=(scenario,), rounds=1, iterations=1)
     record_table(f"fig7_offline_vs_online_nodes_{scenario}", format_sweep(result))
 
@@ -47,11 +55,13 @@ def test_fig7_offline_vs_online_vs_node_count(benchmark, record_table, scenario)
         assert offline <= popularity + 1e-9
         assert offline <= nodes  # never above min(n, m) = n
         gaps.append(popularity - offline)
-    # The offline optimum is strictly below the Naive (= n) line at the
-    # paper's reference point of 50 nodes per side.
-    fifty = result.points[FIG5_NODE_COUNTS.index(50)]
-    assert fifty.offline.mean < 50
-    # The optimum grows with the graph ...
+    # The optimum grows with the graph (family-independent at fixed density).
     assert result.series("offline")[-1] > result.series("offline")[0]
-    # ... and the Popularity-vs-optimum gap widens with size.
-    assert gaps[-1] >= gaps[0]
+    if scenario in PAPER_SCENARIOS:
+        # Empirical shapes read off the paper's Fig. 7.
+        # The offline optimum is strictly below the Naive (= n) line at the
+        # paper's reference point of 50 nodes per side.
+        fifty = result.points[FIG5_NODE_COUNTS.index(50)]
+        assert fifty.offline.mean < 50
+        # The Popularity-vs-optimum gap widens with size.
+        assert gaps[-1] >= gaps[0]

@@ -21,6 +21,7 @@ Run with:  python examples/online_monitoring.py
 from __future__ import annotations
 
 from repro.computation import hot_object_drift_stream, producer_consumer_trace
+from repro.engine import EngineConfig, run_engine
 from repro.offline import optimal_clock_size
 from repro.online import (
     OFFLINE_LABEL,
@@ -119,6 +120,32 @@ def main() -> None:
     print(f"  windowed optimum over the run: min {min(offline)}, "
           f"max {max(offline)} - it shrinks after each drift, while the "
           "online clocks can only grow.")
+
+    # ------------------------------------------------------------------
+    # Scale-out: the same monitoring question answered by the sharded
+    # execution engine.  Each shard owns a thread-affine sub-stream and
+    # its own mechanisms + windowed optimum; worker count never changes
+    # the merged numbers (the fingerprint is the proof - try jobs=4).
+    # ------------------------------------------------------------------
+    config = EngineConfig(
+        scenario="hot-object-drift",
+        num_threads=16,
+        num_objects=40,
+        density=0.1,
+        num_events=num_events,
+        seed=7,
+        num_shards=4,
+        chunk_size=200,
+        window=window,
+    )
+    sharded = run_engine(config, jobs=1)
+    print(f"\nSharded engine ({config.num_shards} shards, window {window}):")
+    for label in ("naive", "popularity", OFFLINE_LABEL):
+        finals = sharded.final_sizes(label)
+        per_shard = ", ".join(f"s{s}={size}" for s, size in sorted(finals.items()))
+        print(f"  {label:14s} final per shard: {per_shard}")
+    print(f"  fingerprint (identical for any --jobs): "
+          f"{sharded.fingerprint()[:16]}...")
 
 
 if __name__ == "__main__":

@@ -17,7 +17,12 @@ using vector clocks whose components are a *mix* of threads and objects:
   (:mod:`repro.computation`), a simulated concurrent runtime and a race
   detector (:mod:`repro.runtime`), the chain-clock baseline
   (:mod:`repro.baselines`) and the experiment harness
-  (:mod:`repro.analysis`) - are all implemented here as well.
+  (:mod:`repro.analysis`) - are all implemented here as well;
+* the sharded execution engine (:mod:`repro.engine`) scales the
+  streaming evaluation to millions of events: thread-affine stream
+  sharding, a multiprocess executor, mergeable partial metrics and
+  chunk-boundary checkpoint/resume, with results bit-identical across
+  worker counts (seed discipline in :mod:`repro.seeds`).
 
 Quickstart::
 

@@ -11,6 +11,8 @@ from repro.analysis.experiments import (
     scenario_comparison,
 )
 from repro.analysis.metrics import (
+    MergeableStats,
+    RunningStats,
     SummaryStats,
     competitive_ratio_trajectory,
     crossover_point,
@@ -34,8 +36,10 @@ from repro.analysis.report import (
 
 __all__ = [
     "EXTENDED_MECHANISMS",
+    "MergeableStats",
     "PAPER_MECHANISMS",
     "RatioCell",
+    "RunningStats",
     "RatioSweepResult",
     "SummaryStats",
     "SweepPoint",

@@ -100,6 +100,115 @@ def summarize(values: Iterable[float]) -> SummaryStats:
     )
 
 
+@dataclass(frozen=True)
+class MergeableStats:
+    """Moment statistics that combine associatively across partial runs.
+
+    :class:`SummaryStats` keeps its sorted sample, which is exactly right
+    for a few hundred sweep trials and exactly wrong for a million-event
+    sharded run: partial results must travel between worker processes and
+    merge in O(1), not O(samples).  This class keeps only the running
+    moments (count, mean, M2 = sum of squared deviations) plus min/max,
+    merged with Chan et al.'s parallel update - the standard mergeable
+    summary for distributed aggregation.
+
+    Determinism contract: merging is exact for ``count``/``minimum``/
+    ``maximum`` and floating-point for ``mean``/``m2``, so two runs that
+    merge the *same* partials in the *same* order agree bit-for-bit
+    (this is what makes ``--jobs 1`` and ``--jobs N`` engine runs
+    identical - the merge tree is fixed by shard and chunk structure, not
+    by worker scheduling).  Different chunkings of the same sample stream
+    agree only up to float rounding, as with any non-associative float
+    accumulation.
+    """
+
+    count: int = 0
+    mean: float = 0.0
+    m2: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+
+    def merge(self, other: "MergeableStats") -> "MergeableStats":
+        """Combine two partials (Chan's parallel moments update)."""
+        if self.count == 0:
+            return other
+        if other.count == 0:
+            return self
+        count = self.count + other.count
+        delta = other.mean - self.mean
+        mean = self.mean + delta * (other.count / count)
+        m2 = self.m2 + other.m2 + delta * delta * (self.count * other.count / count)
+        return MergeableStats(
+            count=count,
+            mean=mean,
+            m2=m2,
+            minimum=min(self.minimum, other.minimum),
+            maximum=max(self.maximum, other.maximum),
+        )
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation (Bessel-corrected, 0 below 2 samples)."""
+        if self.count <= 1:
+            return 0.0
+        return math.sqrt(max(self.m2, 0.0) / (self.count - 1))
+
+    def to_summary(self) -> SummaryStats:
+        """Downgrade to :class:`SummaryStats` (without order statistics).
+
+        The result supports mean/std/CI but not :attr:`SummaryStats.median`
+        or percentiles - those need the sample, which a mergeable partial
+        deliberately does not carry.
+        """
+        if self.count == 0:
+            raise ValueError("cannot summarise an empty MergeableStats")
+        return SummaryStats(
+            count=self.count,
+            mean=self.mean,
+            std=self.std,
+            minimum=self.minimum,
+            maximum=self.maximum,
+        )
+
+
+class RunningStats:
+    """Mutable single-pass accumulator producing a :class:`MergeableStats`.
+
+    The hot-path companion: per-event updates mutate in place (Welford),
+    and :meth:`freeze` emits the immutable mergeable snapshot at chunk
+    boundaries.  Kept separate from :class:`MergeableStats` so the frozen
+    value that travels between processes stays hashable and immutable.
+    """
+
+    __slots__ = ("count", "mean", "m2", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self.m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def update(self, value: float) -> None:
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self.m2 += delta * (value - self.mean)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    def freeze(self) -> MergeableStats:
+        return MergeableStats(
+            count=self.count,
+            mean=self.mean,
+            m2=self.m2,
+            minimum=self.minimum,
+            maximum=self.maximum,
+        )
+
+
 def summarize_by_key(trials: Sequence[Mapping[str, float]]) -> Dict[str, SummaryStats]:
     """Summarise a list of per-trial metric dicts key by key.
 

@@ -24,6 +24,14 @@ percentiles are available, not just mean ± CI; ratio tails are skewed).
 Scenarios that emit their own expire events (``expires=True``, e.g.
 thread churn) run unwindowed; insert-only scenarios get the sweep's
 sliding window imposed on top.
+
+Parallelism and seeding: each (scenario, density, size, trial) stream is
+an independent task, dispatched through the sharded execution engine's
+:func:`~repro.engine.executor.execute_tasks` backend when ``jobs > 1``.
+Every task derives its stream seed and its per-mechanism seeds from the
+sweep's one ``base_seed`` via :func:`repro.seeds.derive_seed` paths, and
+samples are pooled in fixed grid order, so the sweep's output is
+bit-identical for every ``jobs`` value.
 """
 
 from __future__ import annotations
@@ -31,7 +39,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.analysis.experiments import MechanismFactory, PAPER_MECHANISMS
+from repro.analysis.experiments import (
+    EXTENDED_MECHANISMS,
+    MechanismFactory,
+    PAPER_MECHANISMS,
+)
 from repro.analysis.metrics import (
     SummaryStats,
     competitive_ratio_trajectory,
@@ -40,7 +52,12 @@ from repro.analysis.metrics import (
 from repro.analysis.report import format_table
 from repro.computation.registry import REGISTRY, STREAM, Scenario
 from repro.exceptions import ExperimentError, ScenarioError
-from repro.online.simulator import OFFLINE_LABEL, compare_mechanisms_on_stream
+from repro.online.simulator import (
+    OFFLINE_LABEL,
+    compare_mechanisms_on_stream,
+    seed_mechanism_factories,
+)
+from repro.seeds import derive_seed
 
 
 @dataclass(frozen=True)
@@ -74,6 +91,72 @@ class RatioSweepResult:
         return tuple(cell for cell in self.cells if cell.scenario == scenario)
 
 
+@dataclass(frozen=True)
+class _TrialTask:
+    """One independent cell-trial: everything a worker needs, picklable."""
+
+    scenario: str
+    density: float
+    size: int
+    trial: int
+    labels: Tuple[str, ...]
+    window: int
+    burn_in: int
+    tail: int
+    num_events: int
+    base_seed: int
+
+
+def _trial_samples(
+    task: _TrialTask,
+    mechanisms: Optional[Mapping[str, MechanismFactory]] = None,
+) -> Dict[str, Tuple[List[float], List[float]]]:
+    """Run one cell-trial; per label the (burn-in, steady) ratio samples.
+
+    ``mechanisms`` is only passed on the in-process path (custom factories
+    are not picklable by name); workers resolve ``task.labels`` against
+    :data:`~repro.analysis.experiments.EXTENDED_MECHANISMS` instead.
+    """
+    chosen: Mapping[str, MechanismFactory] = (
+        mechanisms
+        if mechanisms is not None
+        else {label: EXTENDED_MECHANISMS[label] for label in task.labels}
+    )
+    scenario = REGISTRY.get(task.scenario, kind=STREAM)
+    trial_root = derive_seed(
+        task.base_seed, task.scenario, task.density, task.size, task.trial
+    )
+    events = scenario.build(
+        task.size,
+        task.size,
+        task.density,
+        task.num_events,
+        seed=derive_seed(trial_root, "stream"),
+    )
+    factories = seed_mechanism_factories(
+        dict(chosen), derive_seed(trial_root, "mechanisms")
+    )
+    results = compare_mechanisms_on_stream(
+        events,
+        factories,
+        include_offline=True,
+        window=None if scenario.expires else task.window,
+    )
+    offline_sizes = results[OFFLINE_LABEL].size_trajectory
+    samples: Dict[str, Tuple[List[float], List[float]]] = {}
+    for label in task.labels:
+        ratios = competitive_ratio_trajectory(
+            results[label].size_trajectory, offline_sizes
+        )
+        samples[label] = (ratios[: task.burn_in], ratios[-task.tail :])
+    return samples
+
+
+def _run_trial_task(task: _TrialTask) -> Dict[str, Tuple[List[float], List[float]]]:
+    """Module-level pool entry point (labels resolved worker-side)."""
+    return _trial_samples(task)
+
+
 def ratio_sweep(
     scenarios: Optional[Sequence[str]] = None,
     densities: Sequence[float] = (0.05, 0.2),
@@ -85,6 +168,7 @@ def ratio_sweep(
     tail: int = 50,
     num_events: Optional[int] = None,
     base_seed: int = 2019,
+    jobs: int = 1,
 ) -> RatioSweepResult:
     """Sweep burn-in / steady-state competitive ratios over a stream grid.
 
@@ -99,6 +183,9 @@ def ratio_sweep(
     mechanisms:
         Seeded mechanism factories as in the classic sweeps; defaults to
         the paper's three (:data:`~repro.analysis.experiments.PAPER_MECHANISMS`).
+        Custom factories run in-process only: with ``jobs > 1`` the
+        mechanism set must stay at the default, registered-by-name set
+        (worker processes resolve labels, not closures).
     trials:
         Independent streams per cell; ratio samples are pooled across
         trials before summarisation.
@@ -110,6 +197,9 @@ def ratio_sweep(
     num_events:
         Inserts per stream; defaults to ``max(burn_in + tail, 4 * window)``
         so the tail is sampled well past the first window turnover.
+    jobs:
+        Worker processes for the independent cell-trials; results are
+        identical for every value (see the module docstring).
     """
     chosen_mechanisms = dict(mechanisms or PAPER_MECHANISMS)
     if trials < 1:
@@ -120,6 +210,11 @@ def ratio_sweep(
         raise ExperimentError("burn_in and tail must be >= 1")
     if not densities or not sizes:
         raise ExperimentError("densities and sizes must not be empty")
+    if jobs > 1 and mechanisms is not None:
+        raise ExperimentError(
+            "custom mechanism factories cannot cross process boundaries; "
+            "run with jobs=1 or use the default mechanism set"
+        )
     events_per_trial = (
         num_events if num_events is not None else max(burn_in + tail, 4 * window)
     )
@@ -138,64 +233,68 @@ def ratio_sweep(
     if not chosen_scenarios:
         raise ExperimentError("no stream scenarios selected")
 
+    labels = tuple(chosen_mechanisms)
+    grid: List[Tuple[Scenario, float, int]] = [
+        (scenario, density, int(size))
+        for scenario in chosen_scenarios
+        for density in densities
+        for size in sizes
+    ]
+    tasks: List[_TrialTask] = [
+        _TrialTask(
+            scenario=scenario.name,
+            density=density,
+            size=size,
+            trial=trial,
+            labels=labels,
+            window=window,
+            burn_in=burn_in,
+            tail=tail,
+            num_events=events_per_trial,
+            base_seed=base_seed,
+        )
+        for scenario, density, size in grid
+        for trial in range(trials)
+    ]
+    if mechanisms is not None:
+        outcomes = [_trial_samples(task, chosen_mechanisms) for task in tasks]
+    else:
+        # Deferred import: analysis is a lower layer than the engine; only
+        # this execution path reaches up to its executor backend.
+        from repro.engine.executor import execute_tasks
+
+        outcomes = execute_tasks(_run_trial_task, tasks, jobs=jobs)
+
     cells: List[RatioCell] = []
-    for scenario_index, scenario in enumerate(chosen_scenarios):
-        for density_index, density in enumerate(densities):
-            for size_index, size in enumerate(sizes):
-                burn_samples: Dict[str, List[float]] = {
-                    label: [] for label in chosen_mechanisms
-                }
-                steady_samples: Dict[str, List[float]] = {
-                    label: [] for label in chosen_mechanisms
-                }
-                for trial in range(trials):
-                    seed = (
-                        base_seed
-                        + 1_000_000 * scenario_index
-                        + 100_000 * density_index
-                        + 10_000 * size_index
-                        + trial
-                    )
-                    events = scenario.build(
-                        size, size, density, events_per_trial, seed=seed
-                    )
-                    factories = {
-                        label: (lambda factory=factory: factory(seed + 1))
-                        for label, factory in chosen_mechanisms.items()
-                    }
-                    results = compare_mechanisms_on_stream(
-                        events,
-                        factories,
-                        include_offline=True,
-                        window=None if scenario.expires else window,
-                    )
-                    offline_sizes = results[OFFLINE_LABEL].size_trajectory
-                    for label in chosen_mechanisms:
-                        ratios = competitive_ratio_trajectory(
-                            results[label].size_trajectory, offline_sizes
-                        )
-                        burn_samples[label].extend(ratios[:burn_in])
-                        steady_samples[label].extend(ratios[-tail:])
-                cells.append(
-                    RatioCell(
-                        scenario=scenario.name,
-                        density=density,
-                        size=size,
-                        burn_in={
-                            label: summarize(values)
-                            for label, values in burn_samples.items()
-                        },
-                        steady={
-                            label: summarize(values)
-                            for label, values in steady_samples.items()
-                        },
-                    )
-                )
+    for cell_index, (scenario, density, size) in enumerate(grid):
+        burn_samples: Dict[str, List[float]] = {label: [] for label in labels}
+        steady_samples: Dict[str, List[float]] = {label: [] for label in labels}
+        for trial in range(trials):
+            outcome = outcomes[cell_index * trials + trial]
+            for label in labels:
+                burn, steady = outcome[label]
+                burn_samples[label].extend(burn)
+                steady_samples[label].extend(steady)
+        cells.append(
+            RatioCell(
+                scenario=scenario.name,
+                density=density,
+                size=size,
+                burn_in={
+                    label: summarize(values)
+                    for label, values in burn_samples.items()
+                },
+                steady={
+                    label: summarize(values)
+                    for label, values in steady_samples.items()
+                },
+            )
+        )
     return RatioSweepResult(
         scenarios=tuple(scenario.name for scenario in chosen_scenarios),
         densities=tuple(densities),
         sizes=tuple(int(size) for size in sizes),
-        mechanisms=tuple(chosen_mechanisms),
+        mechanisms=labels,
         window=window,
         burn_in_events=burn_in,
         steady_tail_events=tail,

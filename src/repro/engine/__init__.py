@@ -1,0 +1,63 @@
+"""Sharded, resumable execution engine for million-event streaming runs.
+
+The engine scales the streaming evaluation past what one process and one
+pass can hold: a :class:`~repro.engine.sharding.StreamSharder` partitions
+any registered stream scenario into thread-affine shards, a
+:class:`~repro.engine.executor.ShardExecutor` runs the shards serially or
+on a multiprocess pool, each shard's metrics travel as mergeable
+:class:`~repro.engine.results.PartialResult` objects, and chunk-boundary
+checkpoints (:mod:`repro.engine.checkpoint`) make interrupted runs
+resumable.  ``python -m repro engine run`` is the CLI surface;
+:func:`~repro.engine.runner.run_engine` is the library one.
+
+The load-bearing guarantee, asserted by the test suite: a run's merged
+result is a pure function of its :class:`~repro.engine.runner.EngineConfig`
+- bit-identical across ``jobs`` counts, backends, and interrupt/resume
+cycles.
+"""
+
+from repro.engine.checkpoint import EngineCheckpointManager, ShardCheckpoint
+from repro.engine.executor import ShardExecutor, execute_tasks
+from repro.engine.results import (
+    OFFLINE_LABEL,
+    EngineResult,
+    PartialResult,
+    SeriesFragment,
+    merge_partials,
+)
+from repro.engine.runner import (
+    EngineConfig,
+    EngineInterrupted,
+    run_engine,
+    run_shard,
+    run_shard_task,
+)
+from repro.engine.sharding import (
+    HASH,
+    ROUND_ROBIN,
+    STRATEGIES,
+    StreamSharder,
+    stable_vertex_hash,
+)
+
+__all__ = [
+    "EngineCheckpointManager",
+    "EngineConfig",
+    "EngineInterrupted",
+    "EngineResult",
+    "HASH",
+    "OFFLINE_LABEL",
+    "PartialResult",
+    "ROUND_ROBIN",
+    "STRATEGIES",
+    "SeriesFragment",
+    "ShardCheckpoint",
+    "ShardExecutor",
+    "StreamSharder",
+    "execute_tasks",
+    "merge_partials",
+    "run_engine",
+    "run_shard",
+    "run_shard_task",
+    "stable_vertex_hash",
+]

@@ -1,0 +1,159 @@
+"""Chunk-boundary checkpointing for interrupted million-event runs.
+
+This is the engine-side sibling of
+:class:`repro.runtime.snapshots.CheckpointManager`: that class rolls a
+*monitored computation* back to a recovery line (the largest consistent
+cut respecting per-thread checkpoints); this one rolls a *monitoring run*
+back to the last completed chunk of every shard.  The two share the same
+correctness shape - a checkpoint set is restorable iff it is closed under
+the dependencies between the checkpointed units - but the engine gets the
+hard part for free: shards are causally independent by construction
+(thread-affinity sharding routes every event of a thread to one shard),
+so any per-shard vector of completed chunks is already a consistent
+recovery line, with no domino effect to propagate.
+
+Mechanics:
+
+* a checkpoint directory holds one ``manifest.json`` recording the run's
+  configuration signature, plus one ``shard-<id>.pickle`` per shard;
+* shard files are written atomically (temp file + ``os.replace``) so a
+  kill mid-write leaves the previous chunk's checkpoint intact - the
+  invariant that makes "resume from the last *completed* chunk" true
+  under arbitrary interruption;
+* resuming validates the manifest against the resuming run's signature
+  and refuses on mismatch: silently mixing partial metrics of two
+  different configurations is the one unrecoverable corruption.
+
+The pickled payload is the shard's full consumer state - the online
+mechanisms (including their :mod:`random` state), the dynamic matching
+engine, the sliding-window deque and the accumulated
+:class:`~repro.engine.results.PartialResult` - so a resumed run replays
+*nothing*: it fast-forwards the regenerated stream past the consumed
+prefix (generation is cheap; matching is not) and continues exactly where
+the interrupted run left off.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional
+
+from repro.exceptions import EngineError
+
+MANIFEST_NAME = "manifest.json"
+
+
+@dataclass
+class ShardCheckpoint:
+    """Everything needed to continue one shard from a chunk boundary.
+
+    ``raw_events_consumed`` counts events of the *full* base stream (the
+    fast-forward distance); ``inserts_done`` counts this shard's inserts
+    (the chunk clock); ``consumers`` is the picklable shard state object
+    defined by the runner.
+    """
+
+    shard_id: int
+    chunks_done: int
+    raw_events_consumed: int
+    inserts_done: int
+    expires_done: int
+    consumers: Any
+    partial: Any
+
+
+class EngineCheckpointManager:
+    """Per-shard chunk checkpoints under one run directory."""
+
+    def __init__(self, directory: str, signature: Mapping[str, Any]) -> None:
+        self._directory = Path(directory)
+        self._signature = dict(signature)
+        self._directory.mkdir(parents=True, exist_ok=True)
+        manifest = self._directory / MANIFEST_NAME
+        if manifest.exists():
+            try:
+                recorded = json.loads(manifest.read_text())
+            except (OSError, ValueError) as error:
+                raise EngineError(
+                    f"unreadable checkpoint manifest {manifest}: {error}"
+                ) from None
+            if recorded != self._signature:
+                raise EngineError(
+                    f"checkpoint directory {directory} belongs to a different "
+                    f"run configuration; refusing to mix partial results "
+                    f"(recorded {recorded!r}, resuming {self._signature!r})"
+                )
+        else:
+            self._atomic_write(manifest, json.dumps(self._signature, sort_keys=True))
+
+    @property
+    def directory(self) -> Path:
+        return self._directory
+
+    def _shard_path(self, shard_id: int) -> Path:
+        return self._directory / f"shard-{shard_id}.pickle"
+
+    def _atomic_write(self, path: Path, text_or_bytes) -> None:
+        """Write via a sibling temp file + ``os.replace`` (atomic on POSIX)."""
+        mode = "wb" if isinstance(text_or_bytes, bytes) else "w"
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=path.name + ".", dir=str(self._directory)
+        )
+        try:
+            with os.fdopen(fd, mode) as handle:
+                handle.write(text_or_bytes)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def load(self, shard_id: int) -> Optional[ShardCheckpoint]:
+        """The shard's last completed-chunk checkpoint, or ``None``."""
+        path = self._shard_path(shard_id)
+        if not path.exists():
+            return None
+        try:
+            with path.open("rb") as handle:
+                checkpoint = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError) as error:
+            raise EngineError(
+                f"corrupt shard checkpoint {path}: {error}"
+            ) from None
+        if checkpoint.shard_id != shard_id:
+            raise EngineError(
+                f"checkpoint {path} records shard {checkpoint.shard_id}, "
+                f"expected {shard_id}"
+            )
+        return checkpoint
+
+    def save(self, checkpoint: ShardCheckpoint) -> None:
+        """Atomically persist one shard's chunk-boundary state."""
+        self._atomic_write(
+            self._shard_path(checkpoint.shard_id),
+            pickle.dumps(checkpoint, protocol=pickle.HIGHEST_PROTOCOL),
+        )
+
+    def shard_files(self) -> Dict[int, Path]:
+        """Existing shard checkpoint files, keyed by shard id."""
+        files: Dict[int, Path] = {}
+        for path in self._directory.glob("shard-*.pickle"):
+            stem = path.stem.split("-", 1)[1]
+            if stem.isdigit():
+                files[int(stem)] = path
+        return files
+
+    def clear(self) -> None:
+        """Delete every shard checkpoint (keeps the manifest)."""
+        for path in self.shard_files().values():
+            try:
+                path.unlink()
+            except OSError:
+                pass

@@ -1,0 +1,279 @@
+"""Mergeable partial results: the unit of exchange of the sharded engine.
+
+A sharded run produces metrics in pieces - one piece per (shard, chunk) -
+and the pieces must recombine into exactly the result a serial run would
+have produced.  Everything here is built around that requirement:
+
+* :class:`SeriesFragment` - the metrics of one mechanism (or the offline
+  optimum) over one contiguous range of a shard's inserts: the clock-size
+  samples (optionally strided), the final size, and the mergeable moment
+  statistics of the pointwise competitive ratios;
+* :class:`PartialResult` - a set of fragments keyed by ``(shard, label)``
+  plus global event counts.  ``merge`` is the engine's only combining
+  operation: fragments of *different* keys union (shards are
+  independent), fragments of the *same* key concatenate (chunks of one
+  shard), ordered by their start index so the operation is commutative.
+  It is associative over every bracketing that only joins
+  chunk-contiguous pieces - which every merge order the engine uses
+  (chunks in order within a worker, shards in id order at the end)
+  satisfies by construction;
+* :class:`EngineResult` - the fully merged run: convenience accessors,
+  a deterministic text rendering, and a :meth:`EngineResult.fingerprint`
+  (SHA-256 over a canonical serialisation) that the CLI prints and the
+  tests compare to assert ``--jobs 1`` / ``--jobs N`` bit-identity.
+
+Trajectory samples are taken at shard-local insert indices ``i`` with
+``i % stride == 0``.  Sampling is keyed to the *global* shard index, not
+the chunk-local one, so fragment concatenation is stride-correct across
+chunk boundaries regardless of how the run was chunked.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.analysis.metrics import MergeableStats
+from repro.exceptions import EngineError
+
+#: Key under which the dynamic offline optimum's fragments are stored.
+OFFLINE_LABEL = "offline"
+
+SeriesKey = Tuple[int, str]
+
+
+@dataclass(frozen=True)
+class SeriesFragment:
+    """Metrics of one label over one contiguous insert range of one shard.
+
+    ``start`` and ``count`` are in shard-local insert coordinates:
+    the fragment covers inserts ``start .. start + count - 1`` of its
+    shard's sub-stream.  ``samples`` holds the clock sizes at the covered
+    indices divisible by ``stride``; ``final_size`` is the size after the
+    last covered insert (carried forward unchanged by empty fragments).
+    ``ratios`` summarises the pointwise online/offline ratios of the
+    covered inserts (empty for the offline label itself, and when the
+    run disabled the optimum).
+    """
+
+    start: int
+    count: int
+    stride: int
+    final_size: int
+    samples: Tuple[int, ...] = ()
+    ratios: MergeableStats = field(default_factory=MergeableStats)
+
+    @property
+    def end(self) -> int:
+        """One past the last covered shard-local insert index."""
+        return self.start + self.count
+
+    def merge(self, other: "SeriesFragment") -> "SeriesFragment":
+        """Concatenate two fragments of the same (shard, label) key.
+
+        Order-insensitive: the fragment with the smaller start index is
+        treated as the earlier chunk.  Raises :class:`EngineError` when
+        the two ranges are not contiguous (a merge tree that skipped a
+        chunk is a driver bug, and silently producing a gapped series
+        would poison every downstream statistic).
+        """
+        earlier, later = (self, other) if self.start <= other.start else (other, self)
+        if earlier.stride != later.stride:
+            raise EngineError(
+                f"cannot merge fragments with strides {earlier.stride} and "
+                f"{later.stride}"
+            )
+        if earlier.end != later.start:
+            raise EngineError(
+                f"cannot merge non-contiguous fragments: [{earlier.start}, "
+                f"{earlier.end}) then [{later.start}, {later.end})"
+            )
+        return SeriesFragment(
+            start=earlier.start,
+            count=earlier.count + later.count,
+            stride=earlier.stride,
+            final_size=later.final_size if later.count else earlier.final_size,
+            samples=earlier.samples + later.samples,
+            ratios=earlier.ratios.merge(later.ratios),
+        )
+
+
+@dataclass(frozen=True)
+class PartialResult:
+    """The mergeable metrics of any subset of a run's (shard, chunk) grid.
+
+    ``series`` maps ``(shard_id, label)`` to that pair's fragment;
+    ``inserts`` / ``expires`` count the stream events the subset covered.
+    Treat instances as immutable: ``merge`` returns a new object and
+    never mutates either operand's mapping.
+    """
+
+    inserts: int = 0
+    expires: int = 0
+    series: Mapping[SeriesKey, SeriesFragment] = field(default_factory=dict)
+
+    def merge(self, other: "PartialResult") -> "PartialResult":
+        """Combine two partials (see the module docstring for the algebra)."""
+        merged: Dict[SeriesKey, SeriesFragment] = dict(self.series)
+        for key, fragment in other.series.items():
+            existing = merged.get(key)
+            merged[key] = fragment if existing is None else existing.merge(fragment)
+        return PartialResult(
+            inserts=self.inserts + other.inserts,
+            expires=self.expires + other.expires,
+            series=merged,
+        )
+
+    def shard_ids(self) -> Tuple[int, ...]:
+        return tuple(sorted({shard for shard, _ in self.series}))
+
+    def labels(self) -> Tuple[str, ...]:
+        return tuple(sorted({label for _, label in self.series}))
+
+    def fragment(self, shard_id: int, label: str) -> SeriesFragment:
+        try:
+            return self.series[(shard_id, label)]
+        except KeyError:
+            raise EngineError(
+                f"no series recorded for shard {shard_id}, label {label!r}"
+            ) from None
+
+
+def merge_partials(partials: List[PartialResult]) -> PartialResult:
+    """Left-fold ``partials`` in list order into one result."""
+    merged = PartialResult()
+    for partial in partials:
+        merged = merged.merge(partial)
+    return merged
+
+
+@dataclass(frozen=True)
+class EngineResult:
+    """A fully merged sharded run, plus the configuration that shaped it.
+
+    The identity of a run's numbers is exactly ``(scenario parameters,
+    root seed, shard structure, chunk size, window, mechanisms)`` - and
+    deliberately *not* the worker count or executor backend, which is the
+    engine's central determinism guarantee.  :meth:`fingerprint` distils
+    the merged metrics into one hex digest so that guarantee is cheap to
+    assert from tests and visible from the CLI.
+    """
+
+    scenario: str
+    num_shards: int
+    strategy: str
+    seed: int
+    window: Optional[int]
+    chunk_size: int
+    mechanisms: Tuple[str, ...]
+    partial: PartialResult
+
+    @property
+    def inserts(self) -> int:
+        return self.partial.inserts
+
+    @property
+    def expires(self) -> int:
+        return self.partial.expires
+
+    def final_sizes(self, label: str) -> Dict[int, int]:
+        """Final clock size per shard for one mechanism label."""
+        return {
+            shard: fragment.final_size
+            for (shard, lbl), fragment in self.partial.series.items()
+            if lbl == label
+        }
+
+    def pooled_ratios(self, label: str) -> MergeableStats:
+        """Competitive-ratio statistics pooled over every shard."""
+        pooled = MergeableStats()
+        for shard in self.partial.shard_ids():
+            key = (shard, label)
+            if key in self.partial.series:
+                pooled = pooled.merge(self.partial.series[key].ratios)
+        return pooled
+
+    def _canonical_lines(self) -> List[str]:
+        """One line per series, in sorted key order (the fingerprint input).
+
+        Floats are rendered with ``repr`` (shortest exact round-trip), so
+        two results fingerprint equal iff their metrics are bit-identical.
+        """
+        lines = [
+            f"scenario={self.scenario} shards={self.num_shards} "
+            f"strategy={self.strategy} seed={self.seed} window={self.window} "
+            f"chunk={self.chunk_size} inserts={self.inserts} "
+            f"expires={self.expires}"
+        ]
+        for (shard, label), frag in sorted(self.partial.series.items()):
+            stats = frag.ratios
+            lines.append(
+                f"shard={shard} label={label} start={frag.start} "
+                f"count={frag.count} stride={frag.stride} "
+                f"final={frag.final_size} samples={frag.samples!r} "
+                f"ratio_count={stats.count} ratio_mean={stats.mean!r} "
+                f"ratio_m2={stats.m2!r} ratio_min={stats.minimum!r} "
+                f"ratio_max={stats.maximum!r}"
+            )
+        return lines
+
+    def fingerprint(self) -> str:
+        """SHA-256 hex digest of the canonical metric serialisation."""
+        digest = hashlib.sha256()
+        for line in self._canonical_lines():
+            digest.update(line.encode("utf-8"))
+            digest.update(b"\n")
+        return digest.hexdigest()
+
+    def format(self) -> str:
+        """Deterministic text report: per-mechanism pooled metrics + shards."""
+        from repro.analysis.report import format_table
+
+        header = (
+            f"engine run: scenario={self.scenario} shards={self.num_shards} "
+            f"({self.strategy}) seed={self.seed} "
+            f"window={self.window if self.window is not None else '-'} "
+            f"chunk={self.chunk_size}\n"
+            f"events: {self.inserts} inserts, {self.expires} expires"
+        )
+        rows: List[Dict[str, object]] = []
+        for label in self.partial.labels():
+            finals = self.final_sizes(label)
+            stats = self.pooled_ratios(label)
+            row: Dict[str, object] = {
+                "series": label,
+                "final(sum)": sum(finals.values()),
+                "final(max)": max(finals.values()) if finals else 0,
+            }
+            if stats.count:
+                row["ratio mean"] = f"{stats.mean:.3f}"
+                row["ratio max"] = f"{stats.maximum:.3f}"
+            else:
+                row["ratio mean"] = "-"
+                row["ratio max"] = "-"
+            rows.append(row)
+        shard_rows: List[Dict[str, object]] = []
+        for shard in self.partial.shard_ids():
+            fragments = {
+                label: self.partial.series[(shard, label)]
+                for label in self.partial.labels()
+                if (shard, label) in self.partial.series
+            }
+            # Every label's fragment covers the same inserts of its shard,
+            # so any one of them carries the shard's insert count.
+            shard_row: Dict[str, object] = {
+                "shard": shard,
+                "inserts": next(iter(fragments.values())).count,
+            }
+            for label, fragment in fragments.items():
+                shard_row[label] = fragment.final_size
+            shard_rows.append(shard_row)
+        return (
+            header
+            + "\n\n"
+            + format_table(rows)
+            + "\n\n"
+            + format_table(shard_rows)
+            + f"\n\nfingerprint: {self.fingerprint()}"
+        )

@@ -1,0 +1,413 @@
+"""The sharded execution engine: chunked per-shard runs, merged results.
+
+This is the driver that takes any registered ``stream`` scenario from
+thousands of events (where the one-pass
+:func:`~repro.online.simulator.compare_mechanisms_on_stream` is fine) to
+millions (where one process is not).  The design splits the classic
+single pass along two axes:
+
+* **shards** - the *logical* partition.  A
+  :class:`~repro.engine.sharding.StreamSharder` routes every event by
+  thread affinity to one of ``num_shards`` sub-streams, and each shard
+  runs its own mechanisms and its own dynamic offline optimum over its
+  sub-stream, exactly as a per-shard monitoring agent would.  Shards are
+  the semantic unit: results are a function of ``num_shards``, never of
+  worker count;
+* **chunks** - the *checkpoint* partition.  Within a shard, inserts are
+  processed ``chunk_size`` at a time; each chunk boundary freezes the
+  chunk's metrics into a mergeable
+  :class:`~repro.engine.results.PartialResult` and (when a checkpoint
+  directory is configured) persists the shard's full consumer state, so
+  an interrupted run resumes from the last completed chunk instead of
+  replaying hours of matching work.
+
+Workers never receive events over IPC.  Each worker regenerates the base
+stream from the run's root seed (generation is a cheap pure function of
+the seed; the matching and mechanism work dominates) and filters it down
+to its own shard, which makes tasks pure functions of ``(config,
+shard_id)`` - the property the executor needs for scheduling-independent
+results.
+
+Determinism contract (the one the acceptance tests assert): for a fixed
+``EngineConfig``, the merged :class:`~repro.engine.results.EngineResult`
+is bit-identical across ``jobs`` values, executor backends, and
+interrupt/resume cycles.  Every source of variation is keyed by
+:func:`repro.seeds.derive_seed` paths (stream, per-shard per-mechanism
+seeds), and every float accumulation follows one fixed merge tree
+(chunks in order within a shard, shards in id order at the end).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.analysis.experiments import EXTENDED_MECHANISMS
+from repro.analysis.metrics import RunningStats
+from repro.computation.registry import REGISTRY, STREAM
+from repro.engine.checkpoint import EngineCheckpointManager, ShardCheckpoint
+from repro.engine.executor import ShardExecutor
+from repro.engine.results import (
+    OFFLINE_LABEL,
+    EngineResult,
+    PartialResult,
+    SeriesFragment,
+    merge_partials,
+)
+from repro.engine.sharding import HASH, STRATEGIES, StreamSharder
+from repro.exceptions import EngineError, ScenarioError
+from repro.graph.incremental import DynamicMatching
+from repro.online.base import OnlineMechanism
+from repro.online.simulator import seed_mechanism_factories
+from repro.seeds import derive_seed
+
+
+class EngineInterrupted(EngineError):
+    """A run stopped at a chunk boundary before finishing.
+
+    Raised by the ``max_chunks_per_shard`` hook, which exists so tests
+    (and operators rehearsing recovery) can interrupt a checkpointed run
+    at a deterministic point; a killed process leaves the same on-disk
+    state, just less politely.
+    """
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """One sharded run, fully specified.
+
+    Everything that shapes the numbers lives here; everything that only
+    shapes the wall-clock (worker count, backend) deliberately does not.
+    ``trajectory_stride=0`` means auto: sample roughly a thousand points
+    over the whole run so million-event trajectories stay plottable
+    without carrying millions of samples per label.
+    """
+
+    scenario: str
+    num_threads: int = 50
+    num_objects: int = 50
+    density: float = 0.1
+    num_events: int = 20_000
+    seed: int = 2019
+    num_shards: int = 8
+    chunk_size: int = 10_000
+    window: Optional[int] = None
+    mechanisms: Tuple[str, ...] = ("naive", "random", "popularity")
+    include_offline: bool = True
+    strategy: str = HASH
+    checkpoint_dir: Optional[str] = None
+    trajectory_stride: int = 0
+    max_chunks_per_shard: Optional[int] = None
+
+    def validate(self) -> None:
+        try:
+            scenario = REGISTRY.get(self.scenario, kind=STREAM)
+        except ScenarioError as error:
+            raise EngineError(str(error)) from None
+        if self.num_threads < 1 or self.num_objects < 1:
+            raise EngineError("num_threads and num_objects must be >= 1")
+        if not (0.0 <= self.density <= 1.0):
+            raise EngineError(f"density must be in [0, 1], got {self.density}")
+        if self.num_events < 0:
+            raise EngineError("num_events must be non-negative")
+        if self.num_shards < 1:
+            raise EngineError(f"num_shards must be >= 1, got {self.num_shards}")
+        if self.chunk_size < 1:
+            raise EngineError(f"chunk_size must be >= 1, got {self.chunk_size}")
+        if self.window is not None:
+            if self.window < 1:
+                raise EngineError(f"window must be >= 1, got {self.window}")
+            if scenario.expires:
+                raise EngineError(
+                    f"scenario {self.scenario!r} emits its own expire events; "
+                    f"a sliding window cannot be imposed on top"
+                )
+        if self.strategy not in STRATEGIES:
+            raise EngineError(
+                f"unknown sharding strategy {self.strategy!r} "
+                f"(expected one of: {', '.join(STRATEGIES)})"
+            )
+        if not self.mechanisms:
+            raise EngineError("at least one mechanism label is required")
+        for label in self.mechanisms:
+            if label == OFFLINE_LABEL:
+                raise EngineError(
+                    f"{OFFLINE_LABEL!r} is reserved for the optimum series"
+                )
+            if label not in EXTENDED_MECHANISMS:
+                raise EngineError(
+                    f"unknown mechanism {label!r} (expected one of: "
+                    f"{', '.join(sorted(EXTENDED_MECHANISMS))})"
+                )
+        if self.trajectory_stride < 0:
+            raise EngineError("trajectory_stride must be >= 0")
+        if self.max_chunks_per_shard is not None and self.max_chunks_per_shard < 1:
+            raise EngineError("max_chunks_per_shard must be >= 1")
+
+    @property
+    def stride(self) -> int:
+        """The resolved trajectory sampling stride (see class docstring)."""
+        if self.trajectory_stride > 0:
+            return self.trajectory_stride
+        return max(1, self.num_events // 1024)
+
+    def signature(self) -> Dict[str, object]:
+        """The JSON-safe identity of this run's numbers.
+
+        Two configurations with equal signatures produce bit-identical
+        merged metrics, so this is what the checkpoint manifest records.
+        ``max_chunks_per_shard`` is excluded on purpose: an interrupted
+        run and its resumption are the *same* run.
+        """
+        return {
+            "scenario": self.scenario,
+            "num_threads": self.num_threads,
+            "num_objects": self.num_objects,
+            "density": self.density,
+            "num_events": self.num_events,
+            "seed": self.seed,
+            "num_shards": self.num_shards,
+            "chunk_size": self.chunk_size,
+            "window": self.window,
+            "mechanisms": list(self.mechanisms),
+            "include_offline": self.include_offline,
+            "strategy": self.strategy,
+            "stride": self.stride,
+        }
+
+
+@dataclass
+class _ShardConsumers:
+    """The picklable per-shard run state (what a checkpoint snapshots)."""
+
+    mechanisms: Dict[str, OnlineMechanism]
+    engine: Optional[DynamicMatching]
+    live_window: Optional[Deque[Tuple[object, object]]]
+
+
+class _ChunkBuffers:
+    """Accumulators of the chunk in progress, frozen at the boundary."""
+
+    def __init__(self, labels: Tuple[str, ...], start: int, stride: int,
+                 include_offline: bool) -> None:
+        self.start = start
+        self.stride = stride
+        self.inserts = 0
+        self.expires = 0
+        self.samples: Dict[str, List[int]] = {label: [] for label in labels}
+        self.final: Dict[str, int] = {}
+        self.ratios: Dict[str, RunningStats] = {label: RunningStats() for label in labels}
+        if include_offline:
+            self.samples[OFFLINE_LABEL] = []
+            self.ratios[OFFLINE_LABEL] = RunningStats()
+
+    def freeze(self, shard_id: int) -> PartialResult:
+        """The chunk as a mergeable partial (empty chunks freeze to nothing)."""
+        series: Dict[Tuple[int, str], SeriesFragment] = {}
+        if self.inserts:
+            for label, samples in self.samples.items():
+                series[(shard_id, label)] = SeriesFragment(
+                    start=self.start,
+                    count=self.inserts,
+                    stride=self.stride,
+                    final_size=self.final[label],
+                    samples=tuple(samples),
+                    ratios=self.ratios[label].freeze(),
+                )
+        return PartialResult(
+            inserts=self.inserts, expires=self.expires, series=series
+        )
+
+
+def _fresh_consumers(config: EngineConfig, shard_id: int,
+                     scenario_expires: bool) -> _ShardConsumers:
+    # One root per shard, one child per mechanism label - the same
+    # splitting discipline the ratio sweep uses, so a mechanism's
+    # randomness depends on *what* it computes, never on worker placement.
+    shard_root = derive_seed(config.seed, config.scenario, "shard", shard_id)
+    factories = seed_mechanism_factories(
+        {label: EXTENDED_MECHANISMS[label] for label in config.mechanisms},
+        shard_root,
+    )
+    mechanisms: Dict[str, OnlineMechanism] = {
+        label: factories[label]() for label in config.mechanisms
+    }
+    engine = (
+        DynamicMatching(record_trajectory=False) if config.include_offline else None
+    )
+    live_window = (
+        deque() if (config.window is not None and not scenario_expires) else None
+    )
+    return _ShardConsumers(
+        mechanisms=mechanisms, engine=engine, live_window=live_window
+    )
+
+
+def run_shard(config: EngineConfig, shard_id: int) -> PartialResult:
+    """Run one shard to completion (or to the interrupt hook).
+
+    Regenerates the base stream from the root seed, filters it to this
+    shard, and advances the shard's mechanisms and dynamic optimum in
+    chunks, checkpointing at every chunk boundary when configured.
+    """
+    config.validate()
+    if not (0 <= shard_id < config.num_shards):
+        raise EngineError(
+            f"shard_id {shard_id} out of range for {config.num_shards} shards"
+        )
+    scenario = REGISTRY.get(config.scenario, kind=STREAM)
+    manager = (
+        EngineCheckpointManager(config.checkpoint_dir, config.signature())
+        if config.checkpoint_dir
+        else None
+    )
+    checkpoint = manager.load(shard_id) if manager else None
+    if checkpoint is not None:
+        consumers = checkpoint.consumers
+        partial = checkpoint.partial
+        raw_consumed = checkpoint.raw_events_consumed
+        inserts_done = checkpoint.inserts_done
+        chunks_done = checkpoint.chunks_done
+    else:
+        consumers = _fresh_consumers(config, shard_id, scenario.expires)
+        partial = PartialResult()
+        raw_consumed = 0
+        inserts_done = 0
+        chunks_done = 0
+
+    stream = scenario.build(
+        config.num_threads,
+        config.num_objects,
+        config.density,
+        config.num_events,
+        seed=derive_seed(config.seed, config.scenario, "stream"),
+    )
+    sharder = StreamSharder(config.num_shards, config.strategy)
+    tagged = sharder.split(stream)
+
+    # Fast-forward past the checkpointed prefix.  The events are consumed
+    # (the round-robin assignment table must replay identically) but not
+    # fed to consumers - their state already includes them.
+    for _ in range(raw_consumed):
+        try:
+            next(tagged)
+        except StopIteration:
+            raise EngineError(
+                f"stream exhausted while fast-forwarding shard {shard_id} to "
+                f"event {raw_consumed}; the checkpoint does not match this "
+                f"stream"
+            ) from None
+
+    chunk = _ChunkBuffers(
+        config.mechanisms, inserts_done, config.stride, config.include_offline
+    )
+    mechanisms = consumers.mechanisms
+    engine = consumers.engine
+    live_window = consumers.live_window
+
+    def complete_chunk() -> None:
+        nonlocal partial, chunk, chunks_done
+        partial = partial.merge(chunk.freeze(shard_id))
+        chunks_done += 1
+        if manager is not None:
+            manager.save(
+                ShardCheckpoint(
+                    shard_id=shard_id,
+                    chunks_done=chunks_done,
+                    raw_events_consumed=raw_consumed,
+                    inserts_done=inserts_done,
+                    expires_done=partial.expires,
+                    consumers=consumers,
+                    partial=partial,
+                )
+            )
+        chunk = _ChunkBuffers(
+            config.mechanisms, inserts_done, config.stride, config.include_offline
+        )
+
+    for shard, event in tagged:
+        raw_consumed += 1
+        if shard != shard_id:
+            continue
+        if event.is_expire:
+            if engine is not None:
+                engine.remove_edge(event.thread, event.obj)
+            chunk.expires += 1
+            continue
+        if live_window is not None:
+            if config.window is not None and len(live_window) == config.window:
+                old_thread, old_obj = live_window.popleft()
+                if engine is not None:
+                    engine.remove_edge(old_thread, old_obj)
+                chunk.expires += 1
+            live_window.append(event.pair)
+        offline_size = 0
+        if engine is not None:
+            engine.add_edge(event.thread, event.obj)
+            offline_size = engine.size
+        index = inserts_done
+        sample_point = index % config.stride == 0
+        for label, mechanism in mechanisms.items():
+            mechanism.observe(event.thread, event.obj)
+            size = mechanism.clock_size
+            chunk.final[label] = size
+            if sample_point:
+                chunk.samples[label].append(size)
+            if offline_size:
+                chunk.ratios[label].update(size / offline_size)
+        if engine is not None:
+            chunk.final[OFFLINE_LABEL] = offline_size
+            if sample_point:
+                chunk.samples[OFFLINE_LABEL].append(offline_size)
+        inserts_done += 1
+        chunk.inserts += 1
+        if chunk.inserts == config.chunk_size:
+            complete_chunk()
+            if (
+                config.max_chunks_per_shard is not None
+                and chunks_done >= config.max_chunks_per_shard
+            ):
+                raise EngineInterrupted(
+                    f"shard {shard_id} stopped after {chunks_done} chunks "
+                    f"({inserts_done} inserts checkpointed)"
+                )
+    if chunk.inserts or chunk.expires:
+        complete_chunk()
+    return partial
+
+
+def run_shard_task(task: Tuple[EngineConfig, int]) -> PartialResult:
+    """Module-level task entry point (picklable for the process pool)."""
+    config, shard_id = task
+    return run_shard(config, shard_id)
+
+
+def run_engine(config: EngineConfig, jobs: int = 1) -> EngineResult:
+    """Run every shard of ``config`` on ``jobs`` workers and merge.
+
+    The merge folds shard partials in shard-id order - the fixed merge
+    tree that keeps results independent of scheduling.  With a checkpoint
+    directory configured, completed shards short-circuit through their
+    checkpoints, so re-invoking after an interruption (or an
+    :class:`EngineInterrupted`) finishes the remaining work only.
+    """
+    config.validate()
+    if config.checkpoint_dir:
+        # Fail fast in the parent on a manifest mismatch, before any
+        # worker is spawned.
+        EngineCheckpointManager(config.checkpoint_dir, config.signature())
+    executor = ShardExecutor(jobs)
+    tasks = [(config, shard_id) for shard_id in range(config.num_shards)]
+    partials = executor.map(run_shard_task, tasks)
+    merged = merge_partials(partials)
+    return EngineResult(
+        scenario=config.scenario,
+        num_shards=config.num_shards,
+        strategy=config.strategy,
+        seed=config.seed,
+        window=config.window,
+        chunk_size=config.chunk_size,
+        mechanisms=config.mechanisms,
+        partial=merged,
+    )

@@ -1,0 +1,130 @@
+"""Stream sharding: split one event stream into affinity-preserving shards.
+
+The execution engine parallelises a streaming run by partitioning its
+event stream into ``num_shards`` sub-streams and running the mechanisms
+and the dynamic offline optimum independently per shard (see
+:mod:`repro.engine.runner` for why per-shard independence is the unit of
+parallelism).  The partitioning must satisfy two contracts:
+
+**Affinity.**  Every event is routed by its *thread* vertex, so all
+inserts and expires of one thread land on the same shard, in stream
+order.  Because stream generators never emit more expires for an edge
+than inserts (the multiset contract of
+:mod:`repro.computation.streams`), each shard's sub-stream inherits that
+consistency: a shard-local :class:`~repro.graph.incremental.DynamicMatching`
+never sees an expire-before-insert.  Routing by thread also keeps each
+shard's revealed graph a genuine thread-object bipartite graph - threads
+are partitioned, objects may appear on several shards (they are the
+monitoring analogue of broadcast state).
+
+**Determinism.**  Shard assignment depends only on ``(num_shards,
+strategy, the stream itself)`` - never on Python's randomised ``hash()``,
+process identity, worker count, or timing.  Concretely:
+
+* ``hash`` strategy: the shard of thread ``t`` is an FNV-1a hash of the
+  ``(type name, repr)`` canonical form of ``t`` (the same
+  canonicalisation :func:`repro.online.simulator.reveal_order` uses for
+  its sort keys), reduced modulo ``num_shards``.  This is stateless: two
+  workers in different processes agree on every assignment without
+  communicating, which is what lets each worker re-derive its own shard
+  by filtering a regenerated stream.
+* ``round-robin`` strategy: threads are assigned to shards cyclically in
+  order of *first appearance* in the stream.  This balances shards
+  perfectly when thread populations are skewed, at the cost of being
+  stateful: an assignment is only reproducible by replaying the stream
+  prefix that precedes it.  Workers do exactly that (they scan the full
+  stream and keep their shard), so the fallback stays deterministic.
+
+Both strategies therefore guarantee: for a fixed generated stream, the
+multiset of (shard, event) pairs - and the order of events within each
+shard - is a pure function of the sharder configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Tuple
+
+from repro.computation.streams import EventLike, StreamEvent, as_stream_event
+from repro.exceptions import EngineError
+from repro.graph.bipartite import Vertex
+from repro.seeds import stable_hash
+
+#: The two partitioning strategies (see module docstring).
+HASH = "hash"
+ROUND_ROBIN = "round-robin"
+
+STRATEGIES = (HASH, ROUND_ROBIN)
+
+
+def stable_vertex_hash(vertex: Vertex) -> int:
+    """A 64-bit hash of a vertex that is stable across processes and runs.
+
+    Delegates to :func:`repro.seeds.stable_hash` - the one FNV-1a fold
+    over the ``(type name, repr)`` canonical form that both seed
+    derivation and shard placement share, so the two can never drift
+    apart.  The determinism caveat is the simulator's: vertices whose
+    types define a discriminating ``__repr__`` hash reproducibly
+    everywhere.
+    """
+    return stable_hash(vertex)
+
+
+class StreamSharder:
+    """Route stream events to shards by thread affinity.
+
+    One instance observes one stream (the ``round-robin`` strategy is
+    stateful); create a fresh sharder per pass.  The ``hash`` strategy is
+    stateless, so reusing an instance is harmless there, but the uniform
+    rule keeps call sites strategy-agnostic.
+    """
+
+    def __init__(self, num_shards: int, strategy: str = HASH) -> None:
+        if num_shards < 1:
+            raise EngineError(f"num_shards must be >= 1, got {num_shards}")
+        if strategy not in STRATEGIES:
+            raise EngineError(
+                f"unknown sharding strategy {strategy!r} "
+                f"(expected one of: {', '.join(STRATEGIES)})"
+            )
+        self.num_shards = num_shards
+        self.strategy = strategy
+        self._round_robin: Dict[Vertex, int] = {}
+
+    def shard_of(self, thread: Vertex) -> int:
+        """The shard owning ``thread`` (assigning it first, if round-robin)."""
+        if self.strategy == HASH:
+            return stable_vertex_hash(thread) % self.num_shards
+        shard = self._round_robin.get(thread)
+        if shard is None:
+            shard = len(self._round_robin) % self.num_shards
+            self._round_robin[thread] = shard
+        return shard
+
+    def split(self, events: Iterable[EventLike]) -> Iterator[Tuple[int, StreamEvent]]:
+        """Lazily tag every event of ``events`` with its shard id.
+
+        The stream is consumed exactly once; relative order is preserved
+        (and hence preserved within every shard).  Bare ``(thread,
+        object)`` pairs are coerced to insert events, as everywhere else.
+        """
+        for item in events:
+            event = as_stream_event(item)
+            yield self.shard_of(event.thread), event
+
+    def select(
+        self, events: Iterable[EventLike], shard_id: int
+    ) -> Iterator[StreamEvent]:
+        """The sub-stream of one shard.
+
+        Scans the whole input (the round-robin assignment table must see
+        every thread's first appearance), yielding only events owned by
+        ``shard_id``.  This is how a worker re-derives its shard from a
+        regenerated stream without any cross-process communication.
+        """
+        if not (0 <= shard_id < self.num_shards):
+            raise EngineError(
+                f"shard_id {shard_id} out of range for {self.num_shards} shards"
+            )
+        for shard, event in self.split(events):
+            if shard == shard_id:
+                yield event

@@ -84,3 +84,13 @@ class ExperimentError(ReproError):
 
 class ScenarioError(ReproError):
     """Raised by the scenario registry for unknown or conflicting scenarios."""
+
+
+class EngineError(ReproError):
+    """Raised by the sharded execution engine for invalid configurations.
+
+    Covers misconfigured runs (non-positive shard counts, unknown
+    mechanism labels), non-mergeable partial results (overlapping or
+    non-contiguous series fragments), and checkpoint directories whose
+    recorded run signature does not match the resuming configuration.
+    """

@@ -21,6 +21,7 @@ from repro.online.simulator import (
     run_mechanism,
     run_mechanism_on_computation,
     run_mechanism_on_graph,
+    seed_mechanism_factories,
 )
 
 __all__ = [
@@ -46,4 +47,5 @@ __all__ = [
     "run_mechanism",
     "run_mechanism_on_computation",
     "run_mechanism_on_graph",
+    "seed_mechanism_factories",
 ]

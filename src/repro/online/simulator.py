@@ -46,12 +46,34 @@ from repro.graph.bipartite import BipartiteGraph, Vertex
 from repro.graph.generators import SeedLike, _rng
 from repro.graph.incremental import DynamicMatching, incremental_optimum_trajectory
 from repro.online.base import OnlineMechanism
+from repro.seeds import derive_seed
 
 Pair = Tuple[Vertex, Vertex]
 MechanismFactory = Callable[[], OnlineMechanism]
 
 #: Key under which the offline optimum series is reported.
 OFFLINE_LABEL = "offline"
+
+
+def seed_mechanism_factories(
+    seeded: Dict[str, Callable[[int], OnlineMechanism]], root_seed: int
+) -> Dict[str, MechanismFactory]:
+    """Bind per-label seeds derived from one root to seed-taking factories.
+
+    The historical pattern - calling every mechanism factory with the same
+    ``seed + 1`` - handed identical randomness to every stochastic
+    mechanism of a trial.  This helper derives one independent child seed
+    per label (:func:`repro.seeds.derive_seed`, keyed by the label, so the
+    assignment is order- and process-independent) and returns the
+    zero-argument factories :func:`compare_mechanisms_on_stream` consumes.
+    The ratio sweep and the sharded engine both route their mechanism
+    seeding through this one function, which is what keeps their outputs
+    identical for a given root seed no matter where the mechanisms run.
+    """
+    return {
+        label: (lambda f=factory, s=derive_seed(root_seed, label): f(s))
+        for label, factory in seeded.items()
+    }
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,115 @@
+"""Deterministic seed derivation: one root seed, many independent streams.
+
+Before this module existed every caller invented its own seed arithmetic
+(``base_seed + 10_000 * x_index + trial``, ``seed + 1`` for mechanisms,
+...).  That scheme has two failure modes the sharded execution engine
+cannot afford:
+
+* **collisions** - additive offsets overlap as soon as an index outgrows
+  its allotted stride (a 11th mechanism, a 101st trial), silently reusing
+  randomness between cells that are supposed to be independent;
+* **structure leakage** - :class:`random.Random` seeded with consecutive
+  integers produces correlated low bits for some generators, and the
+  per-mechanism ``seed + 1`` gave *every* mechanism of a trial the same
+  seed.
+
+:func:`derive_seed` replaces both: it folds an arbitrary path of labels
+(strings, ints, floats - anything with a stable ``repr``) into the root
+seed with an FNV-1a byte fold and finishes each component with the
+splitmix64 finalizer, the standard avalanche mixer used to split PRNG
+streams (numpy's ``SeedSequence`` plays the same role; this one is
+dependency-free).  The result is a 64-bit integer that
+
+* depends only on ``(root, path)`` - never on process identity, hash
+  randomisation (``PYTHONHASHSEED``), platform, or call order, so workers
+  in different processes derive identical seeds;
+* changes completely when any path component changes (avalanche), so
+  ``derive_seed(s, "shard", 1)`` and ``derive_seed(s, "shard", 2)`` are
+  statistically independent streams.
+
+This is the determinism backbone of the execution engine: serial and
+multiprocess runs agree bit-for-bit because every consumer's randomness is
+keyed by *what* it computes (scenario, shard, mechanism label), not by
+*where* or *when* it runs.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+_MASK64 = (1 << 64) - 1
+#: FNV-1a 64-bit offset basis / prime.
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+PathPart = Union[str, int, float]
+
+
+def splitmix64(value: int) -> int:
+    """The splitmix64 finalizer: a 64-bit avalanche permutation.
+
+    Maps any 64-bit input to a 64-bit output such that flipping one input
+    bit flips ~half the output bits.  Exposed for tests and for callers
+    that need raw stream splitting; most code wants :func:`derive_seed`.
+    """
+    z = (value + 0x9E3779B97F4A7C15) & _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (z ^ (z >> 31)) & _MASK64
+
+
+def canonical_bytes(value: object) -> bytes:
+    """The typed-repr canonical form shared by every stable hash here.
+
+    The type name is part of the bytes so ``1``, ``1.0`` and ``"1"`` hash
+    apart - mirroring the ``(type name, repr)`` canonicalisation the
+    simulator uses for vertex sort keys.  Both :func:`derive_seed` and
+    the engine's shard router hash exactly this form; keeping them on one
+    definition is what keeps shard placement and seed derivation from
+    ever drifting apart.
+    """
+    return f"{type(value).__name__}:{value!r}".encode("utf-8")
+
+
+def fnv1a_fold(state: int, data: bytes) -> int:
+    """Fold ``data`` into a 64-bit FNV-1a ``state`` (no finalisation)."""
+    for byte in data:
+        state = ((state ^ byte) * _FNV_PRIME) & _MASK64
+    return state
+
+
+def stable_hash(value: object) -> int:
+    """A 64-bit hash of ``value`` stable across processes, runs, platforms.
+
+    Python's built-in ``hash()`` is randomised per process for strings
+    (``PYTHONHASHSEED``), so anything that must agree across workers - the
+    engine's shard placement above all - hashes through this instead:
+    pure FNV-1a arithmetic over :func:`canonical_bytes`.
+    """
+    return fnv1a_fold(_FNV_OFFSET, canonical_bytes(value))
+
+
+def _fold(state: int, part: PathPart) -> int:
+    """Fold one path component into ``state`` and scramble (see above)."""
+    return splitmix64(fnv1a_fold(state, canonical_bytes(part)))
+
+
+def derive_seed(root: int, *path: PathPart) -> int:
+    """Derive the child seed of ``root`` at ``path``.
+
+    ``path`` is a sequence of labels naming one consumer of randomness -
+    e.g. ``derive_seed(2019, "thread-churn", "shard", 3, "random")`` is
+    the seed of the Random mechanism on shard 3 of a thread-churn run.
+    Sibling paths yield independent 64-bit seeds; the same ``(root,
+    path)`` always yields the same seed, in every process on every
+    platform.
+    """
+    state = splitmix64(root & _MASK64)
+    for part in path:
+        state = _fold(state, part)
+    return state
+
+
+def spawn_seeds(root: int, count: int, *path: PathPart) -> tuple:
+    """``count`` independent child seeds under ``path`` (one per index)."""
+    return tuple(derive_seed(root, *path, index) for index in range(count))
