@@ -39,6 +39,9 @@ if SMOKE:
     STREAM_TRIALS = 1
     STREAM_BURN_IN = 30
     STREAM_TAIL = 30
+    ADAPTIVE_EPOCH = 50
+    ADAPTIVE_EVENTS = 1_000
+    ADAPTIVE_TAIL = 150
     ENGINE_EVENTS = 2_000
     ENGINE_SHARDS = 4
     ENGINE_CHUNK = 500
@@ -71,6 +74,12 @@ else:
     STREAM_BURN_IN = 200
     #: Trailing events summarised as steady state.
     STREAM_TAIL = 200
+    #: Epoch-boundary interval (inserts) for the adaptive-window benchmark.
+    ADAPTIVE_EPOCH = 250
+    #: Insert events per stream in the adaptive-window head-to-head.
+    ADAPTIVE_EVENTS = 8_000
+    #: Trailing events summarised as the adaptive steady state.
+    ADAPTIVE_TAIL = 800
     #: Insert events in the engine-scaling run (the ROADMAP's million-event
     #: target; expires ride on top, so the stream is longer than this).
     ENGINE_EVENTS = 1_200_000

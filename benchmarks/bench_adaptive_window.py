@@ -1,0 +1,165 @@
+"""Extra experiment E9: adaptive window-aware mechanisms vs append-only.
+
+The ROADMAP's streaming gap: under sliding-window / churn monitoring the
+offline optimum tracks the live window while every Section IV mechanism
+is append-only, so steady-state competitive ratios degrade monotonically.
+This benchmark runs each adaptive mechanism head-to-head against its
+append-only counterpart on the churn-capable stream scenarios and records
+
+* steady-state competitive ratio (tail of the run) per mechanism - the
+  adaptive variant must be strictly better on thread churn, the headline
+  acceptance number;
+* live clock size over time - append-only trajectories are monotone,
+  adaptive ones shrink back towards the windowed optimum (bounded state,
+  the property a long-running monitor actually needs);
+* the lifecycle-aware ratio-sweep grid (``ratio_sweep`` with epochs and
+  the adaptive labels), exercising the same path ``python -m repro sweep
+  ratio --epoch N --mechanisms ...`` uses.
+
+Run the full version with ``pytest benchmarks/bench_adaptive_window.py``;
+CI runs the ``--smoke`` variant to catch harness breakage.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_ratio_sweep, ratio_sweep
+from repro.analysis.experiments import EXTENDED_MECHANISMS
+from repro.analysis.metrics import competitive_ratio_trajectory
+from repro.computation import REGISTRY, STREAM
+from repro.online import compare_mechanisms_on_stream, seed_mechanism_factories
+from repro.seeds import derive_seed
+
+from _common import (
+    ADAPTIVE_EPOCH,
+    ADAPTIVE_EVENTS,
+    ADAPTIVE_TAIL,
+    STREAM_DENSITIES,
+    STREAM_SIZES,
+    STREAM_TRIALS,
+    STREAM_WINDOW,
+)
+
+#: (adaptive label, append-only counterpart) head-to-head pairs.
+PAIRINGS = (
+    ("adaptive-popularity", "popularity"),
+    ("epoch-hybrid", "hybrid"),
+)
+
+LABELS = tuple(label for pairing in PAIRINGS for label in pairing)
+
+
+def _run_scenario(scenario_name: str, seed_tag: str):
+    scenario = REGISTRY.get(scenario_name, kind=STREAM)
+    root = derive_seed(9_200, seed_tag)
+    size = max(STREAM_SIZES)
+    events = scenario.build(
+        size,
+        size,
+        max(STREAM_DENSITIES),
+        ADAPTIVE_EVENTS,
+        seed=derive_seed(root, "stream"),
+    )
+    factories = seed_mechanism_factories(
+        {label: EXTENDED_MECHANISMS[label] for label in LABELS},
+        derive_seed(root, "mechanisms"),
+    )
+    return compare_mechanisms_on_stream(
+        events,
+        factories,
+        include_offline=True,
+        window=None if scenario.expires else STREAM_WINDOW,
+        epoch=ADAPTIVE_EPOCH,
+    )
+
+
+def _steady_mean(results, label):
+    ratios = competitive_ratio_trajectory(
+        results[label].size_trajectory, results["offline"].size_trajectory
+    )
+    tail = ratios[-ADAPTIVE_TAIL:]
+    return sum(tail) / len(tail)
+
+
+@pytest.mark.benchmark(group="adaptive-window")
+def test_adaptive_vs_append_only_on_churn(benchmark, record_table):
+    """The acceptance head-to-head on the thread-churn stream."""
+    results = benchmark.pedantic(
+        lambda: _run_scenario("thread-churn", "churn"), rounds=1, iterations=1
+    )
+    offline_tail = results["offline"].size_trajectory[-ADAPTIVE_TAIL:]
+    lines = [
+        f"thread-churn  ({ADAPTIVE_EVENTS} inserts, epoch every "
+        f"{ADAPTIVE_EPOCH}, steady tail {ADAPTIVE_TAIL})",
+        f"{'mechanism':>20s}  {'steady ratio':>12s}  {'final':>5s}  "
+        f"{'peak':>4s}  {'retired':>7s}",
+    ]
+    for adaptive, append_only in PAIRINGS:
+        for label in (append_only, adaptive):
+            result = results[label]
+            lines.append(
+                f"{label:>20s}  {_steady_mean(results, label):>12.2f}  "
+                f"{result.final_size:>5d}  {result.peak_size:>4d}  "
+                f"{result.retired_components:>7d}"
+            )
+        # The acceptance criterion: strictly better steady state.
+        assert _steady_mean(results, adaptive) < _steady_mean(
+            results, append_only
+        )
+        # Bounded live state: the adaptive clock shrinks again and its
+        # steady tail sits strictly below the append-only counterpart's.
+        adaptive_trajectory = results[adaptive].size_trajectory
+        assert results[adaptive].retired_components > 0
+        assert any(
+            b < a for a, b in zip(adaptive_trajectory, adaptive_trajectory[1:])
+        )
+        assert max(adaptive_trajectory[-ADAPTIVE_TAIL:]) < min(
+            results[append_only].size_trajectory[-ADAPTIVE_TAIL:]
+        )
+    lines.append(
+        f"{'offline optimum':>20s}  {'1.00':>12s}  "
+        f"{results['offline'].final_size:>5d}  "
+        f"{max(results['offline'].size_trajectory):>4d}  {'-':>7s}"
+    )
+    lines.append(
+        f"windowed optimum steady size: "
+        f"{sum(offline_tail) / len(offline_tail):.1f}"
+    )
+    record_table("adaptive_window_churn", "\n".join(lines))
+
+
+@pytest.mark.benchmark(group="adaptive-window")
+def test_adaptive_ratio_sweep_grid(benchmark, record_table):
+    """The lifecycle-aware sweep grid over every churn-capable scenario."""
+
+    def run():
+        return ratio_sweep(
+            densities=STREAM_DENSITIES,
+            sizes=STREAM_SIZES,
+            trials=STREAM_TRIALS,
+            window=STREAM_WINDOW,
+            burn_in=max(20, ADAPTIVE_TAIL // 4),
+            tail=ADAPTIVE_TAIL // 2,
+            num_events=ADAPTIVE_EVENTS,
+            base_seed=9_300,
+            labels=list(LABELS),
+            epoch=ADAPTIVE_EPOCH,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert set(result.scenarios) == set(REGISTRY.names(STREAM))
+    for cell in result.cells:
+        for label in LABELS:
+            assert cell.steady[label].minimum >= 1.0 - 1e-9
+        # The live-size column exists for every label and the optimum.
+        assert cell.steady_clock["offline"].mean >= 1.0
+        # On the self-expiring churn scenario the adaptive steady sizes
+        # sit below their append-only counterparts.
+        if cell.scenario == "thread-churn":
+            for adaptive, append_only in PAIRINGS:
+                assert (
+                    cell.steady_clock[adaptive].mean
+                    < cell.steady_clock[append_only].mean
+                )
+    record_table("adaptive_window_ratio_sweep", format_ratio_sweep(result))

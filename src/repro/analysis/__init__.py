@@ -12,6 +12,7 @@ from repro.analysis.experiments import (
 )
 from repro.analysis.metrics import (
     MergeableStats,
+    QuantileSketch,
     RunningStats,
     SummaryStats,
     competitive_ratio_trajectory,
@@ -38,6 +39,7 @@ __all__ = [
     "EXTENDED_MECHANISMS",
     "MergeableStats",
     "PAPER_MECHANISMS",
+    "QuantileSketch",
     "RatioCell",
     "RunningStats",
     "RatioSweepResult",

@@ -32,6 +32,10 @@ from repro.computation.trace import Computation
 from repro.exceptions import ExperimentError, ScenarioError
 from repro.graph.bipartite import BipartiteGraph
 from repro.offline.algorithm import optimal_clock_size
+from repro.online.adaptive import (
+    EpochRotatingHybridMechanism,
+    WindowedPopularityMechanism,
+)
 from repro.online.base import OnlineMechanism
 from repro.online.hybrid import HybridMechanism
 from repro.online.naive import NaiveMechanism
@@ -50,10 +54,15 @@ PAPER_MECHANISMS: Dict[str, MechanismFactory] = {
     "popularity": lambda seed: PopularityMechanism(),
 }
 
-#: The extended mechanism set used by the ablation benchmarks.
+#: Every registered-by-name mechanism: the paper's three, the hybrid of
+#: Section V's closing recommendation, and the window-aware adaptive
+#: mechanisms (the labels the ratio sweep and the sharded engine resolve
+#: worker-side, so they must all live in this one table).
 EXTENDED_MECHANISMS: Dict[str, MechanismFactory] = {
     **PAPER_MECHANISMS,
     "hybrid": lambda seed: HybridMechanism(),
+    "adaptive-popularity": lambda seed: WindowedPopularityMechanism(),
+    "epoch-hybrid": lambda seed: EpochRotatingHybridMechanism(),
 }
 
 

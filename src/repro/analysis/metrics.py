@@ -171,6 +171,191 @@ class MergeableStats:
         )
 
 
+class QuantileSketch:
+    """Mergeable quantile summary (t-digest style, stdlib-only).
+
+    :class:`MergeableStats` restored mean/std at million-event scale but
+    surrendered the order statistics: medians and tail percentiles need
+    the sample, and a mergeable partial deliberately does not carry it.
+    This sketch carries a *compressed* sample instead - at most
+    ``~2 * compression`` centroids ``(mean, weight)``, with centroid
+    capacity shrinking towards the distribution's tails (the t-digest
+    scale function ``k(q) = compression * (asin(2q - 1) / pi + 1/2)``),
+    so extreme percentiles stay sharp while the bulk is summarised
+    coarsely.  ``update`` is amortised O(1) (values buffer until the next
+    compression), ``merge`` is O(centroids); both are deterministic pure
+    functions of the inserted multiset *and the merge/chunk structure* -
+    a fixed merge tree (the engine's chunks-then-shards order) therefore
+    yields bit-identical sketches across worker counts, which is what
+    lets the engine fingerprint include sketch-derived percentiles.
+    Different chunkings agree only approximately, like any t-digest;
+    ``count`` / ``minimum`` / ``maximum`` are exact under every
+    bracketing, and quantile estimates stay within the digest's rank
+    accuracy (the associativity property test pins both).
+
+    Treat instances frozen into a
+    :class:`~repro.engine.results.SeriesFragment` as immutable: ``merge``
+    returns a new sketch and never mutates its operands.
+    """
+
+    __slots__ = ("compression", "count", "minimum", "maximum", "_centroids", "_buffer")
+
+    def __init__(self, compression: int = 64) -> None:
+        if compression < 4:
+            raise ValueError(f"compression must be >= 4, got {compression}")
+        self.compression = compression
+        self.count = 0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        self._centroids: List[Tuple[float, int]] = []
+        self._buffer: List[float] = []
+
+    @classmethod
+    def from_values(
+        cls, values: Iterable[float], compression: int = 64
+    ) -> "QuantileSketch":
+        sketch = cls(compression)
+        for value in values:
+            sketch.update(value)
+        return sketch
+
+    # -- building -----------------------------------------------------------
+    def update(self, value: float) -> None:
+        """Insert one value (amortised O(1))."""
+        value = float(value)
+        self.count += 1
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        self._buffer.append(value)
+        if len(self._buffer) >= self.compression:
+            self._flush()
+
+    def merge(self, other: "QuantileSketch") -> "QuantileSketch":
+        """Combine two sketches into a new one (both operands untouched)."""
+        if self.compression != other.compression:
+            raise ValueError(
+                f"cannot merge sketches with compressions {self.compression} "
+                f"and {other.compression}"
+            )
+        merged = QuantileSketch(self.compression)
+        merged.count = self.count + other.count
+        merged.minimum = min(self.minimum, other.minimum)
+        merged.maximum = max(self.maximum, other.maximum)
+        self._flush()
+        other._flush()
+        merged._centroids = self._compress(
+            self._centroids + other._centroids, merged.count
+        )
+        return merged
+
+    def _flush(self) -> None:
+        """Fold buffered values into the centroid list."""
+        if not self._buffer:
+            return
+        pending = [(value, 1) for value in self._buffer]
+        self._buffer = []
+        self._centroids = self._compress(self._centroids + pending, self.count)
+
+    def _scale(self, q: float) -> float:
+        """The t-digest scale function ``k(q)`` (monotone, tail-steep)."""
+        q = min(1.0, max(0.0, q))
+        return self.compression * (math.asin(2.0 * q - 1.0) / math.pi + 0.5)
+
+    def _compress(
+        self, centroids: List[Tuple[float, int]], total: int
+    ) -> List[Tuple[float, int]]:
+        """Greedy left-to-right re-clustering bounded by the scale function.
+
+        Deterministic: centroids are sorted by ``(mean, weight)`` and
+        scanned once; a neighbour is absorbed iff the combined cluster
+        still spans less than one unit of ``k(q)``.
+        """
+        if not centroids:
+            return []
+        ordered = sorted(centroids)
+        compressed: List[Tuple[float, int]] = []
+        mean, weight = ordered[0]
+        seen = 0.0  # weight strictly before the current cluster
+        limit = self._scale(0.0) + 1.0
+        for next_mean, next_weight in ordered[1:]:
+            if self._scale((seen + weight + next_weight) / total) <= limit:
+                # Weighted mean; weights are ints so only the mean rounds.
+                combined = weight + next_weight
+                mean += (next_mean - mean) * (next_weight / combined)
+                weight = combined
+            else:
+                compressed.append((mean, weight))
+                seen += weight
+                limit = self._scale(seen / total) + 1.0
+                mean, weight = next_mean, next_weight
+        compressed.append((mean, weight))
+        return compressed
+
+    # -- querying -----------------------------------------------------------
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile (0-100) estimate via centroid interpolation."""
+        if not (0.0 <= p <= 100.0):
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if self.count == 0:
+            raise ValueError("cannot query an empty QuantileSketch")
+        self._flush()
+        if p == 0.0:
+            return self.minimum
+        if p == 100.0:
+            return self.maximum
+        target = (p / 100.0) * self.count
+        # Centroid i notionally spans the rank interval centred at
+        # cumulative-weight-so-far + weight/2; interpolate between
+        # neighbouring centres, clamped by the exact extremes.
+        seen = 0.0
+        previous_centre = 0.0
+        previous_mean = self.minimum
+        for mean, weight in self._centroids:
+            centre = seen + weight / 2.0
+            if target <= centre:
+                span = centre - previous_centre
+                fraction = (target - previous_centre) / span if span else 0.0
+                return previous_mean + (mean - previous_mean) * fraction
+            seen += weight
+            previous_centre = centre
+            previous_mean = mean
+        span = self.count - previous_centre
+        fraction = (target - previous_centre) / span if span else 1.0
+        return previous_mean + (self.maximum - previous_mean) * fraction
+
+    @property
+    def median(self) -> float:
+        return self.percentile(50.0)
+
+    def __eq__(self, other: object) -> bool:
+        """Value equality over the flushed centroid state.
+
+        Two sketches built from the same inserts through the same
+        chunk/merge structure compare equal - the property the engine's
+        ``--jobs N == --jobs 1`` partial-result assertion relies on.
+        """
+        if not isinstance(other, QuantileSketch):
+            return NotImplemented
+        self._flush()
+        other._flush()
+        return (
+            self.compression == other.compression
+            and self.count == other.count
+            and self.minimum == other.minimum
+            and self.maximum == other.maximum
+            and self._centroids == other._centroids
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        self._flush()
+        return (
+            f"QuantileSketch(count={self.count}, centroids={len(self._centroids)}, "
+            f"min={self.minimum}, max={self.maximum})"
+        )
+
+
 class RunningStats:
     """Mutable single-pass accumulator producing a :class:`MergeableStats`.
 

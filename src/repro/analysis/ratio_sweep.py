@@ -23,7 +23,15 @@ percentiles are available, not just mean ± CI; ratio tails are skewed).
 
 Scenarios that emit their own expire events (``expires=True``, e.g.
 thread churn) run unwindowed; insert-only scenarios get the sweep's
-sliding window imposed on top.
+sliding window imposed on top.  The full mechanism lifecycle flows
+through every cell: expire events reach the mechanisms (so the adaptive
+mechanisms of :mod:`repro.online.adaptive` retire dead components) and
+``epoch`` adds a counter-based epoch tick every that-many inserts on top
+of any markers the stream itself emits.  Alongside the two ratio
+regimes, each cell reports the *steady-state live clock size* per
+mechanism (and for the offline optimum) - the number that stays bounded
+for window-aware mechanisms and grows monotonically for append-only
+ones.
 
 Parallelism and seeding: each (scenario, density, size, trial) stream is
 an independent task, dispatched through the sharded execution engine's
@@ -62,13 +70,21 @@ from repro.seeds import derive_seed
 
 @dataclass(frozen=True)
 class RatioCell:
-    """One grid cell: per-mechanism burn-in and steady-state ratio stats."""
+    """One grid cell: per-mechanism ratio and live-clock-size statistics.
+
+    ``burn_in`` / ``steady`` summarise the competitive-ratio samples of
+    the two regimes; ``steady_clock`` summarises the *live clock sizes*
+    over the steady-state tail, keyed by mechanism label plus an
+    ``"offline"`` entry for the windowed optimum - the pairing that shows
+    whether a mechanism's state stays bounded or merely its ratio does.
+    """
 
     scenario: str
     density: float
     size: int
     burn_in: Mapping[str, SummaryStats]
     steady: Mapping[str, SummaryStats]
+    steady_clock: Mapping[str, SummaryStats]
 
 
 @dataclass(frozen=True)
@@ -85,6 +101,7 @@ class RatioSweepResult:
     num_events: int
     trials: int
     cells: Tuple[RatioCell, ...]
+    epoch: Optional[int] = None
 
     def cells_for(self, scenario: str) -> Tuple[RatioCell, ...]:
         """The grid cells of one scenario, in sweep order."""
@@ -105,13 +122,19 @@ class _TrialTask:
     tail: int
     num_events: int
     base_seed: int
+    epoch: Optional[int] = None
+
+
+#: Per-label outcome of one trial: burn-in ratios, steady ratios, steady
+#: live clock sizes.
+_TrialSamples = Dict[str, Tuple[List[float], List[float], List[float]]]
 
 
 def _trial_samples(
     task: _TrialTask,
     mechanisms: Optional[Mapping[str, MechanismFactory]] = None,
-) -> Dict[str, Tuple[List[float], List[float]]]:
-    """Run one cell-trial; per label the (burn-in, steady) ratio samples.
+) -> _TrialSamples:
+    """Run one cell-trial; per label the (burn-in, steady, size) samples.
 
     ``mechanisms`` is only passed on the in-process path (custom factories
     are not picklable by name); workers resolve ``task.labels`` against
@@ -141,18 +164,27 @@ def _trial_samples(
         factories,
         include_offline=True,
         window=None if scenario.expires else task.window,
+        epoch=task.epoch,
     )
     offline_sizes = results[OFFLINE_LABEL].size_trajectory
-    samples: Dict[str, Tuple[List[float], List[float]]] = {}
+    samples: _TrialSamples = {}
     for label in task.labels:
-        ratios = competitive_ratio_trajectory(
-            results[label].size_trajectory, offline_sizes
+        sizes = results[label].size_trajectory
+        ratios = competitive_ratio_trajectory(sizes, offline_sizes)
+        samples[label] = (
+            ratios[: task.burn_in],
+            ratios[-task.tail :],
+            [float(s) for s in sizes[-task.tail :]],
         )
-        samples[label] = (ratios[: task.burn_in], ratios[-task.tail :])
+    samples[OFFLINE_LABEL] = (
+        [],
+        [],
+        [float(s) for s in offline_sizes[-task.tail :]],
+    )
     return samples
 
 
-def _run_trial_task(task: _TrialTask) -> Dict[str, Tuple[List[float], List[float]]]:
+def _run_trial_task(task: _TrialTask) -> _TrialSamples:
     """Module-level pool entry point (labels resolved worker-side)."""
     return _trial_samples(task)
 
@@ -169,6 +201,8 @@ def ratio_sweep(
     num_events: Optional[int] = None,
     base_seed: int = 2019,
     jobs: int = 1,
+    epoch: Optional[int] = None,
+    labels: Optional[Sequence[str]] = None,
 ) -> RatioSweepResult:
     """Sweep burn-in / steady-state competitive ratios over a stream grid.
 
@@ -184,8 +218,14 @@ def ratio_sweep(
         Seeded mechanism factories as in the classic sweeps; defaults to
         the paper's three (:data:`~repro.analysis.experiments.PAPER_MECHANISMS`).
         Custom factories run in-process only: with ``jobs > 1`` the
-        mechanism set must stay at the default, registered-by-name set
-        (worker processes resolve labels, not closures).
+        mechanism set must stay registered-by-name (worker processes
+        resolve labels, not closures) - select registered mechanisms with
+        ``labels`` instead.
+    labels:
+        Mutually exclusive with ``mechanisms``: names from
+        :data:`~repro.analysis.experiments.EXTENDED_MECHANISMS` (e.g.
+        ``["popularity", "adaptive-popularity"]``).  Label sets work with
+        any ``jobs`` value because workers resolve them by name.
     trials:
         Independent streams per cell; ratio samples are pooled across
         trials before summarisation.
@@ -200,20 +240,40 @@ def ratio_sweep(
     jobs:
         Worker processes for the independent cell-trials; results are
         identical for every value (see the module docstring).
+    epoch:
+        Deliver an epoch tick to every mechanism after this many inserts
+        (on top of any markers the stream emits).  ``None`` leaves only
+        the stream's own markers.
     """
-    chosen_mechanisms = dict(mechanisms or PAPER_MECHANISMS)
+    if mechanisms is not None and labels is not None:
+        raise ExperimentError("pass either mechanisms or labels, not both")
+    if labels is not None:
+        unknown = [label for label in labels if label not in EXTENDED_MECHANISMS]
+        if unknown:
+            raise ExperimentError(
+                f"unknown mechanism labels: {', '.join(map(repr, unknown))} "
+                f"(expected from: {', '.join(sorted(EXTENDED_MECHANISMS))})"
+            )
+        chosen_mechanisms = {
+            label: EXTENDED_MECHANISMS[label] for label in labels
+        }
+    else:
+        chosen_mechanisms = dict(mechanisms or PAPER_MECHANISMS)
     if trials < 1:
         raise ExperimentError("trials must be >= 1")
     if window < 1:
         raise ExperimentError("window must be >= 1")
     if burn_in < 1 or tail < 1:
         raise ExperimentError("burn_in and tail must be >= 1")
+    if epoch is not None and epoch < 1:
+        raise ExperimentError("epoch must be >= 1")
     if not densities or not sizes:
         raise ExperimentError("densities and sizes must not be empty")
     if jobs > 1 and mechanisms is not None:
         raise ExperimentError(
             "custom mechanism factories cannot cross process boundaries; "
-            "run with jobs=1 or use the default mechanism set"
+            "run with jobs=1, use the default mechanism set, or select "
+            "registered mechanisms with labels=..."
         )
     events_per_trial = (
         num_events if num_events is not None else max(burn_in + tail, 4 * window)
@@ -233,7 +293,7 @@ def ratio_sweep(
     if not chosen_scenarios:
         raise ExperimentError("no stream scenarios selected")
 
-    labels = tuple(chosen_mechanisms)
+    chosen_labels = tuple(chosen_mechanisms)
     grid: List[Tuple[Scenario, float, int]] = [
         (scenario, density, int(size))
         for scenario in chosen_scenarios
@@ -246,12 +306,13 @@ def ratio_sweep(
             density=density,
             size=size,
             trial=trial,
-            labels=labels,
+            labels=chosen_labels,
             window=window,
             burn_in=burn_in,
             tail=tail,
             num_events=events_per_trial,
             base_seed=base_seed,
+            epoch=epoch,
         )
         for scenario, density, size in grid
         for trial in range(trials)
@@ -266,15 +327,19 @@ def ratio_sweep(
         outcomes = execute_tasks(_run_trial_task, tasks, jobs=jobs)
 
     cells: List[RatioCell] = []
+    clock_labels = chosen_labels + (OFFLINE_LABEL,)
     for cell_index, (scenario, density, size) in enumerate(grid):
-        burn_samples: Dict[str, List[float]] = {label: [] for label in labels}
-        steady_samples: Dict[str, List[float]] = {label: [] for label in labels}
+        burn_samples: Dict[str, List[float]] = {label: [] for label in chosen_labels}
+        steady_samples: Dict[str, List[float]] = {label: [] for label in chosen_labels}
+        clock_samples: Dict[str, List[float]] = {label: [] for label in clock_labels}
         for trial in range(trials):
             outcome = outcomes[cell_index * trials + trial]
-            for label in labels:
-                burn, steady = outcome[label]
+            for label in chosen_labels:
+                burn, steady, clock = outcome[label]
                 burn_samples[label].extend(burn)
                 steady_samples[label].extend(steady)
+                clock_samples[label].extend(clock)
+            clock_samples[OFFLINE_LABEL].extend(outcome[OFFLINE_LABEL][2])
         cells.append(
             RatioCell(
                 scenario=scenario.name,
@@ -288,29 +353,37 @@ def ratio_sweep(
                     label: summarize(values)
                     for label, values in steady_samples.items()
                 },
+                steady_clock={
+                    label: summarize(values)
+                    for label, values in clock_samples.items()
+                },
             )
         )
     return RatioSweepResult(
         scenarios=tuple(scenario.name for scenario in chosen_scenarios),
         densities=tuple(densities),
         sizes=tuple(int(size) for size in sizes),
-        mechanisms=labels,
+        mechanisms=chosen_labels,
         window=window,
         burn_in_events=burn_in,
         steady_tail_events=tail,
         num_events=events_per_trial,
         trials=trials,
         cells=tuple(cells),
+        epoch=epoch,
     )
 
 
 def format_ratio_sweep(result: RatioSweepResult) -> str:
-    """Render one table per scenario: burn-in vs steady-state per mechanism.
+    """Render one table per scenario: ratios and live sizes per mechanism.
 
     Each mechanism gets a ``burn`` and a ``steady`` column showing
     ``mean (median)`` of the pooled ratio samples - the pairing that makes
     the over-commitment story legible at a glance (a mechanism with high
-    burn-in but near-1 steady state recovers; one high in both never does).
+    burn-in but near-1 steady state recovers; one high in both never does)
+    - plus a ``size`` column with the mean steady-state live clock size.
+    The trailing ``offline:size`` column is the windowed optimum's own
+    steady size, the floor every mechanism is measured against.
     """
     sections: List[str] = []
     for name in result.scenarios:
@@ -320,6 +393,10 @@ def format_ratio_sweep(result: RatioSweepResult) -> str:
             if scenario.expires
             else f"window {result.window}"
         )
+        if result.epoch is not None:
+            regime += f", epoch every {result.epoch}"
+        elif scenario.epochs:
+            regime += ", stream-marked epochs"
         header = (
             f"ratio-sweep-{name}  ({regime}, {result.num_events} events/trial, "
             f"burn-in first {result.burn_in_events}, steady last "
@@ -333,6 +410,8 @@ def format_ratio_sweep(result: RatioSweepResult) -> str:
                 steady = cell.steady[label]
                 row[f"{label}:burn"] = f"{burn.mean:.2f} ({burn.median:.2f})"
                 row[f"{label}:steady"] = f"{steady.mean:.2f} ({steady.median:.2f})"
+                row[f"{label}:size"] = f"{cell.steady_clock[label].mean:.1f}"
+            row["offline:size"] = f"{cell.steady_clock[OFFLINE_LABEL].mean:.1f}"
             rows.append(row)
         sections.append(header + "\n" + format_table(rows))
     return "\n\n".join(sections)

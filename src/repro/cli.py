@@ -12,8 +12,14 @@ python -m repro sweep density --scenario nonuniform --trials 3
 python -m repro sweep nodes --density 0.05
 python -m repro sweep ratio --window 200     # burn-in vs steady-state ratios
 python -m repro sweep ratio --jobs 4         # same numbers, four workers
+python -m repro sweep ratio --epoch 200 \
+    --mechanisms popularity,adaptive-popularity   # adaptive vs append-only
 python -m repro engine run --scenario thread-churn --jobs 4 \
     --events 1000000 --checkpoint-dir ckpt   # sharded, resumable runs
+python -m repro engine run --scenario thread-churn --epoch 5000 \
+    --mechanisms popularity,adaptive-popularity   # lifecycle-aware shards
+python -m repro engine inspect ckpt          # checkpoint progress summary
+python -m repro engine clean ckpt            # prune unreferenced shard files
 ```
 
 Every command prints plain text to stdout; ``analyze`` and ``generate``
@@ -141,6 +147,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the ratio sweep's independent trials "
         "(results are identical for every value)",
     )
+    sweep.add_argument(
+        "--epoch", type=int, default=None,
+        help="deliver an epoch tick to every mechanism after this many "
+        "inserts (ratio sweep; window-aware mechanisms restructure their "
+        "clocks at epoch boundaries)",
+    )
+    sweep.add_argument(
+        "--mechanisms", default=None,
+        help="comma-separated registered mechanism labels for the ratio "
+        "sweep (e.g. popularity,adaptive-popularity); default: the "
+        "paper's three",
+    )
 
     engine = subparsers.add_parser(
         "engine",
@@ -185,6 +203,17 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: append-only)",
     )
     engine_run.add_argument(
+        "--epoch", type=int, default=None,
+        help="per-shard epoch boundary every this many of the shard's "
+        "inserts (adaptive mechanisms retire/rebuild components at "
+        "boundaries; part of the run's identity, like --shards)",
+    )
+    engine_run.add_argument(
+        "--skew-warn", type=float, default=4.0, dest="skew_warn",
+        help="warn on stderr when max/min shard insert load exceeds this "
+        "ratio (0 disables the check)",
+    )
+    engine_run.add_argument(
         "--chunk-size", type=int, default=10_000, dest="chunk_size",
         help="inserts per chunk; chunk boundaries are the checkpoint points",
     )
@@ -209,6 +238,21 @@ def build_parser() -> argparse.ArgumentParser:
     engine_run.add_argument(
         "--no-offline", action="store_true", dest="no_offline",
         help="skip the dynamic offline optimum (mechanisms only)",
+    )
+    engine_inspect = engine_sub.add_parser(
+        "inspect",
+        help="summarise a checkpoint directory's manifest and shard progress",
+    )
+    engine_inspect.add_argument(
+        "checkpoint_dir", help="directory written by 'engine run --checkpoint-dir'"
+    )
+    engine_clean = engine_sub.add_parser(
+        "clean",
+        help="prune checkpoint files the manifest does not reference "
+        "(out-of-range shard ids, orphaned temp files)",
+    )
+    engine_clean.add_argument(
+        "checkpoint_dir", help="directory written by 'engine run --checkpoint-dir'"
     )
     return parser
 
@@ -274,8 +318,10 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _cmd_engine(args: argparse.Namespace) -> int:
-    # Only "run" exists today, but the sub-subcommand keeps room for
-    # "engine inspect <checkpoint-dir>" style tooling without breakage.
+    if args.engine_command == "inspect":
+        return _cmd_engine_inspect(args)
+    if args.engine_command == "clean":
+        return _cmd_engine_clean(args)
     config = EngineConfig(
         scenario=args.scenario,
         num_threads=args.nodes,
@@ -286,6 +332,7 @@ def _cmd_engine(args: argparse.Namespace) -> int:
         num_shards=args.shards,
         chunk_size=args.chunk_size,
         window=args.window,
+        epoch_every=args.epoch,
         mechanisms=tuple(
             label.strip() for label in args.mechanisms.split(",") if label.strip()
         ),
@@ -301,6 +348,18 @@ def _cmd_engine(args: argparse.Namespace) -> int:
     # contract); wall-clock facts go to stderr so stdout stays comparable
     # across --jobs values.
     print(result.format())
+    if args.skew_warn > 0:
+        skew = result.shard_skew()
+        if skew > args.skew_warn:
+            loads = result.shard_loads()
+            print(
+                f"warning: shard load skew {skew:.1f}x exceeds "
+                f"{args.skew_warn:.1f}x (insert counts "
+                f"{min(loads.values())}..{max(loads.values())} across "
+                f"{len(loads)} shards); consider --strategy round-robin "
+                f"or fewer shards",
+                file=sys.stderr,
+            )
     events = result.inserts + result.expires
     if config.checkpoint_dir:
         # Resumed runs reload completed chunks from checkpoints, so the
@@ -322,8 +381,49 @@ def _cmd_engine(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_engine_inspect(args: argparse.Namespace) -> int:
+    from repro.analysis.report import format_table
+    from repro.engine import EngineCheckpointManager
+
+    manager = EngineCheckpointManager.open(args.checkpoint_dir)
+    signature = manager.signature
+    print(f"checkpoint directory: {manager.directory}")
+    for key in sorted(signature):
+        print(f"  {key}: {signature[key]}")
+    rows = manager.describe()
+    print()
+    print(format_table(rows) if rows else "(no shards recorded)")
+    total_inserts = sum(row["inserts_done"] for row in rows)
+    target = signature.get("num_events")
+    if isinstance(target, int) and target > 0:
+        print(
+            f"\nprogress: {total_inserts}/{target} inserts checkpointed "
+            f"({100.0 * total_inserts / target:.1f}%)"
+        )
+    return 0
+
+
+def _cmd_engine_clean(args: argparse.Namespace) -> int:
+    from repro.engine import EngineCheckpointManager
+
+    manager = EngineCheckpointManager.open(args.checkpoint_dir)
+    removed = manager.prune()
+    if removed:
+        for path in removed:
+            print(f"removed {path}")
+    print(f"pruned {len(removed)} unreferenced file(s) from {manager.directory}")
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.axis == "ratio":
+        labels = None
+        if args.mechanisms:
+            labels = [
+                label.strip()
+                for label in args.mechanisms.split(",")
+                if label.strip()
+            ]
         result = ratio_sweep(
             scenarios=[args.scenario] if args.scenario else None,
             densities=[args.density] if args.density is not None else (0.05, 0.2),
@@ -335,6 +435,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             num_events=args.events,
             base_seed=args.seed,
             jobs=args.jobs,
+            epoch=args.epoch,
+            labels=labels,
         )
         print(format_ratio_sweep(result))
         return 0

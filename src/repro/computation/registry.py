@@ -67,6 +67,12 @@ class Scenario:
         Stream scenarios only: ``True`` when the stream emits its own
         explicit expire events (churn), in which case drivers must *not*
         impose an additional sliding window on top.
+    epochs:
+        Stream scenarios only: ``True`` when the stream emits its own
+        epoch-boundary markers (e.g. at phase changes).  Drivers deliver
+        ``end_epoch`` to mechanisms at every marker; counter-based epoch
+        ticks (``--epoch N``) can still be layered on top for scenarios
+        without intrinsic boundaries.
     """
 
     name: str
@@ -74,6 +80,7 @@ class Scenario:
     factory: Callable[..., Any]
     description: str = ""
     expires: bool = False
+    epochs: bool = False
 
     def build(self, *args: Any, **kwargs: Any) -> Any:
         """Invoke the factory (kind-specific signature)."""
@@ -98,6 +105,10 @@ class ScenarioRegistry:
         if scenario.expires and scenario.kind != STREAM:
             raise ScenarioError(
                 f"scenario {scenario.name!r}: only stream scenarios can expire events"
+            )
+        if scenario.epochs and scenario.kind != STREAM:
+            raise ScenarioError(
+                f"scenario {scenario.name!r}: only stream scenarios can emit epoch markers"
             )
         self._scenarios[scenario.name] = scenario
         return scenario
@@ -158,6 +169,7 @@ def register_scenario(
     kind: str,
     description: str = "",
     expires: bool = False,
+    epochs: bool = False,
     registry: Optional[ScenarioRegistry] = None,
 ) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
     """Decorator registering ``factory`` under ``name`` (see module docstring).
@@ -175,6 +187,7 @@ def register_scenario(
                 factory=factory,
                 description=description,
                 expires=expires,
+                epochs=epochs,
             )
         )
         return factory

@@ -7,16 +7,24 @@ setting the streaming engine targets, where events arrive indefinitely
 and old events stop mattering.  This module provides that second shape:
 
 * :class:`StreamEvent` - one revealed ``(thread, object)`` pair, tagged
-  either ``insert`` (the pair was just observed) or ``expire`` (a
-  previously observed occurrence of the pair fell out of relevance);
+  ``insert`` (the pair was just observed), ``expire`` (a previously
+  observed occurrence of the pair fell out of relevance) or ``epoch``
+  (a boundary marker carrying no pair at all: lifecycle-aware consumers
+  deliver ``end_epoch`` to their mechanisms, everything else skips it);
 * :func:`sliding_window` - an adapter that turns any insert-only stream
   into a windowed one by emitting an expire event for each insert that
-  leaves the window of the most recent ``window`` events;
+  leaves the window of the most recent ``window`` events (epoch markers
+  pass through untouched - they occupy no window slot);
+* :func:`with_epochs` - an adapter that injects an epoch marker after
+  every ``every`` inserts of any stream, for scenarios that do not emit
+  their own;
 * churn-capable generators, registered as ``stream`` scenarios:
   :func:`thread_churn_stream` (threads arrive and depart, departures
   expire their live edges), :func:`hot_object_drift_stream` (the popular
   object set drifts over time) and :func:`phase_change_stream` (the
-  workload alternates between locality regimes).
+  workload alternates between locality regimes, emitting an epoch marker
+  at every phase boundary - the natural rotation point for the adaptive
+  mechanisms).
 
 Every generator is a true generator function: events are produced one at
 a time and nothing proportional to ``num_events`` is ever materialised,
@@ -32,7 +40,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, Iterable, Iterator, List, Tuple, Union
+from typing import Deque, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.computation.registry import STREAM, register_scenario
 from repro.exceptions import ComputationError
@@ -42,6 +50,7 @@ from repro.graph.generators import SeedLike, _rng, object_names, thread_names
 #: Event kinds.
 INSERT = "insert"
 EXPIRE = "expire"
+EPOCH = "epoch"
 
 
 @dataclass(frozen=True)
@@ -50,12 +59,16 @@ class StreamEvent:
 
     ``insert`` events reveal one occurrence of the edge
     ``(thread, obj)``; ``expire`` events retract one previously revealed
-    occurrence.  Online mechanisms only consume inserts (their clocks
-    never shrink); the dynamic offline optimum consumes both.
+    occurrence; ``epoch`` events mark a boundary at which window-aware
+    mechanisms may restructure their component set (they carry no pair -
+    build them with :func:`epoch_marker`).  Append-only online mechanisms
+    only consume inserts (their clocks never shrink); the dynamic offline
+    optimum consumes inserts and expires; lifecycle-aware drivers deliver
+    all three.
     """
 
-    thread: Vertex
-    obj: Vertex
+    thread: Optional[Vertex]
+    obj: Optional[Vertex]
     kind: str = INSERT
 
     @property
@@ -67,8 +80,23 @@ class StreamEvent:
         return self.kind == EXPIRE
 
     @property
+    def is_epoch(self) -> bool:
+        return self.kind == EPOCH
+
+    @property
     def pair(self) -> Tuple[Vertex, Vertex]:
+        if self.kind == EPOCH:
+            raise ComputationError("epoch markers carry no (thread, object) pair")
         return (self.thread, self.obj)
+
+
+#: The single epoch-boundary marker value (markers carry no payload).
+_EPOCH_MARKER = StreamEvent(None, None, EPOCH)
+
+
+def epoch_marker() -> StreamEvent:
+    """The epoch-boundary marker event."""
+    return _EPOCH_MARKER
 
 
 #: What stream consumers accept: explicit events or bare insert pairs.
@@ -106,6 +134,10 @@ def sliding_window(events: Iterable[EventLike], window: int) -> Iterator[StreamE
     recent: Deque[StreamEvent] = deque()
     for item in events:
         event = as_stream_event(item)
+        if event.is_epoch:
+            # Boundaries occupy no window slot; they just pass through.
+            yield event
+            continue
         if event.is_expire:
             raise ComputationError(
                 "sliding_window expects an insert-only stream; streams with "
@@ -116,6 +148,27 @@ def sliding_window(events: Iterable[EventLike], window: int) -> Iterator[StreamE
             yield StreamEvent(oldest.thread, oldest.obj, EXPIRE)
         recent.append(event)
         yield event
+
+
+def with_epochs(events: Iterable[EventLike], every: int) -> Iterator[StreamEvent]:
+    """Inject an epoch marker after every ``every`` inserts.
+
+    The adapter for scenarios that do not emit their own boundaries
+    (``epochs=False`` in the registry): expire events and pre-existing
+    markers pass through and do not advance the insert counter, so an
+    epoch always closes a fixed amount of *revealed* work regardless of
+    how much churn rode along.
+    """
+    if every < 1:
+        raise ComputationError(f"every must be >= 1, got {every}")
+    inserts = 0
+    for item in events:
+        event = as_stream_event(item)
+        yield event
+        if event.is_insert:
+            inserts += 1
+            if inserts % every == 0:
+                yield epoch_marker()
 
 
 def _candidate_objects(
@@ -245,7 +298,9 @@ def hot_object_drift_stream(
 @register_scenario(
     "phase-change",
     kind=STREAM,
-    description="the workload alternates between private-locality and shared-hotspot phases",
+    description="the workload alternates between private-locality and shared-hotspot phases "
+    "(an epoch marker at every phase boundary)",
+    epochs=True,
 )
 def phase_change_stream(
     num_threads: int,
@@ -263,7 +318,9 @@ def phase_change_stream(
     hammers one common hot subset, the regime where object-side
     components win.  Mechanisms that commit early during one phase pay
     for it in the next - exactly the burn-in vs steady-state contrast the
-    ratio sweeps measure.
+    ratio sweeps measure.  Every phase boundary emits an epoch marker
+    (the scenario registers with ``epochs=True``): the moment the regime
+    flips is exactly when a window-aware mechanism should rebuild.
     """
     if num_events < 0:
         raise ComputationError("num_events must be non-negative")
@@ -276,6 +333,8 @@ def phase_change_stream(
     phase_length = max(1, num_events // phases)
     reachable: Dict[str, Tuple[str, ...]] = {}
     for index in range(num_events):
+        if index and index % phase_length == 0:
+            yield epoch_marker()
         thread = rng.choice(threads)
         if (index // phase_length) % 2 == 0:
             if thread not in reachable:

@@ -35,14 +35,17 @@ from repro.core.thread_clock import (
     timestamp_with_thread_clock,
 )
 from repro.core.timestamping import (
+    EpochClock,
     TimestampedComputation,
     VectorClockProtocol,
     timestamp_with_components,
+    verify_retimestamping,
 )
 
 __all__ = [
     "ClockComponents",
     "ClockKernel",
+    "EpochClock",
     "DeltaDecoder",
     "DeltaEncoder",
     "apply_delta",
@@ -62,4 +65,5 @@ __all__ = [
     "timestamp_with_mixed_clock",
     "timestamp_with_object_clock",
     "timestamp_with_thread_clock",
+    "verify_retimestamping",
 ]

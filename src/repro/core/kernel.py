@@ -19,16 +19,48 @@ mints exactly one immutable :class:`Timestamp` per event through the
 trusted constructor, skipping re-validation.  The resulting timestamps are
 bit-identical to the ones the naive ``merged``/``incremented`` derivation
 produces; the property test suite asserts this on random computations.
+
+The kernel is also the mutable substrate of the *lifecycle-aware* clock
+protocols (sliding-window monitoring): its component set can grow
+(:meth:`ClockKernel.extend_components` - the online setting appends
+components as uncovered events arrive) and can be *rotated*
+(:meth:`ClockKernel.rotate_epoch` - a new epoch begins over a new
+component set, retired components' slots are compacted away, and the
+caller replays the live window so every surviving event is re-timestamped
+in the new epoch's basis).  Timestamps minted in an epoch reference only
+that epoch's components; :class:`~repro.core.timestamping.EpochClock`
+wraps the replay and proves verdict preservation with the
+re-timestamping invariant check.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Iterable, Optional
 
 from repro.core.clock import Timestamp
 from repro.core.components import ClockComponents
 from repro.exceptions import ComponentError
 from repro.graph.bipartite import Vertex
+
+
+def rebase_timestamp(
+    stamp: Timestamp, new_components: ClockComponents
+) -> Timestamp:
+    """Re-express ``stamp`` over ``new_components`` by component identity.
+
+    Components present in both sets keep their values (whatever their
+    slot index becomes); components only in the new set read zero - the
+    value they would have carried had they existed when the stamp was
+    minted.  The single rebasing rule shared by the kernel's component
+    extension and :class:`~repro.core.timestamping.EpochClock`'s live
+    ledger, so the two can never drift apart.
+    """
+    old_index = stamp.components._index
+    values = tuple(
+        stamp._values[old_index[c]] if c in old_index else 0
+        for c in new_components.ordered
+    )
+    return Timestamp._from_trusted(new_components, values)
 
 
 class ClockKernel:
@@ -55,11 +87,21 @@ class ClockKernel:
         "_object_slot",
         "_thread_stamps",
         "_object_stamps",
+        "_epoch",
+        "_retired_total",
     )
 
     def __init__(self, components: ClockComponents, strict: bool = True) -> None:
-        self._components = components
         self._strict = strict
+        self._epoch = 0
+        self._retired_total = 0
+        self._thread_stamps: Dict[Vertex, Timestamp] = {}
+        self._object_stamps: Dict[Vertex, Timestamp] = {}
+        self._bind_components(components)
+
+    def _bind_components(self, components: ClockComponents) -> None:
+        """Point the kernel at ``components``: slot maps and the zero stamp."""
+        self._components = components
         self._zero = Timestamp.zero(components)
         thread_set = components.thread_components
         object_set = components.object_components
@@ -69,8 +111,6 @@ class ClockKernel:
         self._object_slot: Dict[Vertex, int] = {
             c: i for i, c in enumerate(components.ordered) if c in object_set
         }
-        self._thread_stamps: Dict[Vertex, Timestamp] = {}
-        self._object_stamps: Dict[Vertex, Timestamp] = {}
 
     # ------------------------------------------------------------------
     # Queries
@@ -78,6 +118,16 @@ class ClockKernel:
     @property
     def components(self) -> ClockComponents:
         return self._components
+
+    @property
+    def epoch(self) -> int:
+        """How many times :meth:`rotate_epoch` has been applied."""
+        return self._epoch
+
+    @property
+    def retired_total(self) -> int:
+        """Total components retired across all epoch rotations so far."""
+        return self._retired_total
 
     def thread_stamp(self, thread: Vertex) -> Timestamp:
         """Current clock of ``thread`` as an immutable timestamp."""
@@ -148,6 +198,72 @@ class ClockKernel:
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
+    def extend_components(
+        self,
+        thread_components: Iterable[Vertex] = (),
+        object_components: Iterable[Vertex] = (),
+    ) -> ClockComponents:
+        """Grow the component set in place (the online append-only step).
+
+        Every stored thread/object clock is re-based onto the extended
+        set by component *identity*: existing components keep their
+        values (their slot index may move - thread slots precede object
+        slots by convention), new components start at zero everywhere,
+        which is exactly the value they would have had from the start.
+        Returns the new component set.
+        """
+        extended = self._components.extended(thread_components, object_components)
+        if extended.size != self._components.size:
+            self._rebase_stamps(extended)
+            self._bind_components(extended)
+        return self._components
+
+    def rotate_epoch(self, new_components: ClockComponents) -> int:
+        """Begin a new epoch over ``new_components``; returns #retired.
+
+        All per-thread / per-object clock state is discarded: the caller
+        must replay the events that are still live (in their original
+        order) through :meth:`observe` so every surviving event - and the
+        thread/object clocks future events merge from - is re-timestamped
+        in the new epoch's basis.  Components of the old set absent from
+        the new one are *retired*: their slots are compacted away and no
+        timestamp minted in the new epoch references them.
+        :class:`~repro.core.timestamping.EpochClock` packages the replay
+        and the re-timestamping invariant check.
+        """
+        old = self._components
+        retired = len(old.thread_components - new_components.thread_components)
+        retired += len(old.object_components - new_components.object_components)
+        self._retired_total += retired
+        self._epoch += 1
+        self._thread_stamps.clear()
+        self._object_stamps.clear()
+        self._bind_components(new_components)
+        return retired
+
+    def _rebase_stamps(self, new_components: ClockComponents) -> None:
+        """Re-express every stored clock over ``new_components`` by identity.
+
+        Threads and objects frequently share one stamp object (the
+        kernel stores the same instance for both endpoints of an event),
+        so rebased results are cached per input stamp to preserve that
+        sharing - the ``object_stamp is thread_stamp`` fast path in
+        :meth:`observe` depends on it.
+        """
+        rebased: Dict[Timestamp, Timestamp] = {}
+
+        def rebase(stamp: Timestamp) -> Timestamp:
+            cached = rebased.get(stamp)
+            if cached is None:
+                cached = rebase_timestamp(stamp, new_components)
+                rebased[stamp] = cached
+            return cached
+
+        for vertex, stamp in self._thread_stamps.items():
+            self._thread_stamps[vertex] = rebase(stamp)
+        for vertex, stamp in self._object_stamps.items():
+            self._object_stamps[vertex] = rebase(stamp)
+
     def reset(self) -> None:
         """Forget all clock state."""
         self._thread_stamps.clear()

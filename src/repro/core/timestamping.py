@@ -27,14 +27,20 @@ timestamps (that is what Theorem 2 promises is possible).
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Mapping, Optional, Tuple
+from collections import deque
+from typing import Deque, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.computation.event import Event, ObjectId, ThreadId
 from repro.computation.trace import Computation
 from repro.core.clock import Timestamp, ordering
 from repro.core.components import ClockComponents
-from repro.core.kernel import ClockKernel
-from repro.exceptions import AmbiguousTimestampError, ClockError
+from repro.core.kernel import ClockKernel, rebase_timestamp
+from repro.exceptions import (
+    AmbiguousTimestampError,
+    ClockError,
+    RetimestampingError,
+)
+from repro.graph.bipartite import Vertex
 
 
 class VectorClockProtocol:
@@ -257,3 +263,215 @@ def timestamp_with_components(
 ) -> TimestampedComputation:
     """Convenience one-shot helper: timestamp ``computation`` with ``components``."""
     return VectorClockProtocol(components).timestamp_computation(computation)
+
+
+# ---------------------------------------------------------------------------
+# Lifecycle-aware timestamping (sliding-window monitoring)
+# ---------------------------------------------------------------------------
+def verify_retimestamping(
+    before: Sequence[Timestamp],
+    after: Sequence[Timestamp],
+    components: ClockComponents,
+) -> None:
+    """The re-timestamping invariant check of an epoch rotation.
+
+    ``before``/``after`` are the live events' timestamps in the same
+    (stream) order, pre- and post-rotation.  The check proves, event by
+    event and pair by pair:
+
+    * every new timestamp is expressed over the new epoch's component
+      set - i.e. no timestamp issued in the live epoch references a
+      retired component;
+    * the pairwise causal verdict (``before`` / ``after`` /
+      ``concurrent``) of every pair of live events is unchanged.
+
+    The second property is what makes rotation *correct* rather than
+    merely compact: the replay only sees the live window, but with a
+    FIFO window every happened-before chain between two live events runs
+    entirely through live events (any intermediate is newer than the
+    older endpoint), so full-history verdicts are recoverable from the
+    replay - and this check asserts they were.  Quadratic in the window
+    length; enable it in tests and audits, not per-rotation hot paths.
+    """
+    if len(before) != len(after):
+        raise RetimestampingError(
+            f"rotation replayed {len(after)} events but {len(before)} were live"
+        )
+    for stamp in after:
+        if stamp.components is not components:
+            raise RetimestampingError(
+                "a replayed timestamp references a component set other than "
+                "the live epoch's (retired components must not leak)"
+            )
+    for i in range(len(before)):
+        for j in range(i + 1, len(before)):
+            old_verdict = ordering(before[i], before[j])
+            new_verdict = ordering(after[i], after[j])
+            if old_verdict != new_verdict:
+                raise RetimestampingError(
+                    f"rotation changed the verdict of live events {i} and "
+                    f"{j}: {old_verdict!r} -> {new_verdict!r}"
+                )
+
+
+class EpochClock:
+    """Lifecycle-aware timestamping: ``observe`` / ``expire`` / ``rotate``.
+
+    The windowed counterpart of :class:`VectorClockProtocol`.  Where the
+    batch protocol timestamps a fixed computation over a fixed component
+    set, this clock serves a monitoring loop in which events *expire*
+    (fall out of the sliding window) and the component set changes over
+    time - growing between epochs (:meth:`extend`, the online
+    append-only step) and shrinking or being wholesale rebuilt at epoch
+    boundaries (:meth:`rotate`).
+
+    Every observed event receives a monotonically increasing integer
+    *token*; causality queries (:meth:`relation`,
+    :meth:`happened_before`, :meth:`concurrent`) are answered for any
+    pair of **live** tokens, in the current epoch's basis.  A rotation
+    replays the live events through the kernel in stream order, so the
+    ledger's timestamps (and the thread/object clocks future events
+    merge from) are always expressed over the current component set;
+    with ``check_invariant=True`` each rotation runs
+    :func:`verify_retimestamping` before committing.
+    """
+
+    def __init__(
+        self,
+        components: Optional[ClockComponents] = None,
+        strict: bool = True,
+        check_invariant: bool = False,
+    ) -> None:
+        self._kernel = ClockKernel(
+            components if components is not None else ClockComponents(),
+            strict=strict,
+        )
+        self._check_invariant = check_invariant
+        # token -> (thread, obj); dicts preserve insertion (= stream) order
+        # under deletion, which is what rotation's replay relies on.
+        self._live_pairs: Dict[int, Tuple[Vertex, Vertex]] = {}
+        self._live_stamps: Dict[int, Timestamp] = {}
+        self._tokens_by_pair: Dict[Tuple[Vertex, Vertex], Deque[int]] = {}
+        self._next_token = 0
+
+    # -- introspection ------------------------------------------------------
+    @property
+    def components(self) -> ClockComponents:
+        return self._kernel.components
+
+    @property
+    def size(self) -> int:
+        """The current clock dimension (number of live components)."""
+        return self._kernel.components.size
+
+    @property
+    def epoch(self) -> int:
+        return self._kernel.epoch
+
+    @property
+    def retired_total(self) -> int:
+        return self._kernel.retired_total
+
+    @property
+    def live_count(self) -> int:
+        return len(self._live_pairs)
+
+    def live_tokens(self) -> Tuple[int, ...]:
+        """Tokens of the live events, oldest first."""
+        return tuple(self._live_pairs)
+
+    def timestamp(self, token: int) -> Timestamp:
+        """The (current-epoch) timestamp of a live event."""
+        try:
+            return self._live_stamps[token]
+        except KeyError:
+            raise ClockError(f"event token {token} is not live") from None
+
+    # -- the lifecycle ------------------------------------------------------
+    def observe(self, thread: Vertex, obj: Vertex) -> int:
+        """Timestamp one operation; returns its (stable) event token."""
+        stamp = self._kernel.observe(thread, obj)
+        token = self._next_token
+        self._next_token += 1
+        self._live_pairs[token] = (thread, obj)
+        self._live_stamps[token] = stamp
+        self._tokens_by_pair.setdefault((thread, obj), deque()).append(token)
+        return token
+
+    def expire(self, thread: Vertex, obj: Vertex) -> int:
+        """Expire the *oldest* live occurrence of ``(thread, obj)``.
+
+        Mirrors the multiset contract of the stream layer (never more
+        expires than inserts per pair); returns the expired token.
+        """
+        queue = self._tokens_by_pair.get((thread, obj))
+        if not queue:
+            raise ClockError(
+                f"no live occurrence of ({thread!r}, {obj!r}) to expire"
+            )
+        token = queue.popleft()
+        if not queue:
+            del self._tokens_by_pair[(thread, obj)]
+        del self._live_pairs[token]
+        del self._live_stamps[token]
+        return token
+
+    def extend(
+        self,
+        thread_components: Tuple[Vertex, ...] = (),
+        object_components: Tuple[Vertex, ...] = (),
+    ) -> None:
+        """Append components (no epoch change); live stamps are re-based.
+
+        New components are zero in every existing timestamp - the value
+        they would have carried had they been present from the start -
+        so no verdict among recorded events can change; only the basis
+        widens.
+        """
+        old = self._kernel.components
+        extended = self._kernel.extend_components(
+            thread_components, object_components
+        )
+        if extended is old:
+            return
+        for token, stamp in self._live_stamps.items():
+            self._live_stamps[token] = rebase_timestamp(stamp, extended)
+
+    def rotate(self, new_components: ClockComponents) -> int:
+        """Enter a new epoch: retire/rebuild components, replay the window.
+
+        The live events are replayed in stream order through the rotated
+        kernel, which both re-timestamps them over ``new_components``
+        (compacted: retired slots are gone) and rebuilds the per-thread /
+        per-object clocks future events merge from.  Returns the number
+        of retired components.  With ``check_invariant=True`` the
+        re-timestamping invariant is verified before the new stamps are
+        visible; on violation the clock is unusable and the caller should
+        treat the mechanism driving it as buggy.
+        """
+        old_stamps: List[Timestamp] = (
+            list(self._live_stamps.values()) if self._check_invariant else []
+        )
+        retired = self._kernel.rotate_epoch(new_components)
+        new_stamps: Dict[int, Timestamp] = {}
+        for token, (thread, obj) in self._live_pairs.items():
+            new_stamps[token] = self._kernel.observe(thread, obj)
+        if self._check_invariant:
+            verify_retimestamping(
+                old_stamps, list(new_stamps.values()), new_components
+            )
+        self._live_stamps = new_stamps
+        return retired
+
+    # -- causality queries on live events -----------------------------------
+    def relation(self, token_a: int, token_b: int) -> str:
+        """``"before"`` / ``"after"`` / ``"concurrent"`` / ``"equal"``."""
+        return ordering(self.timestamp(token_a), self.timestamp(token_b))
+
+    def happened_before(self, token_a: int, token_b: int) -> bool:
+        return self.timestamp(token_a) < self.timestamp(token_b)
+
+    def concurrent(self, token_a: int, token_b: int) -> bool:
+        if token_a == token_b:
+            return False
+        return self.timestamp(token_a).concurrent_with(self.timestamp(token_b))

@@ -41,7 +41,7 @@ import pickle
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Mapping, Optional
+from typing import Any, Dict, List, Mapping, Optional
 
 from repro.exceptions import EngineError
 
@@ -76,12 +76,7 @@ class EngineCheckpointManager:
         self._directory.mkdir(parents=True, exist_ok=True)
         manifest = self._directory / MANIFEST_NAME
         if manifest.exists():
-            try:
-                recorded = json.loads(manifest.read_text())
-            except (OSError, ValueError) as error:
-                raise EngineError(
-                    f"unreadable checkpoint manifest {manifest}: {error}"
-                ) from None
+            recorded = self._read_manifest(manifest)
             if recorded != self._signature:
                 raise EngineError(
                     f"checkpoint directory {directory} belongs to a different "
@@ -91,9 +86,46 @@ class EngineCheckpointManager:
         else:
             self._atomic_write(manifest, json.dumps(self._signature, sort_keys=True))
 
+    @classmethod
+    def open(cls, directory: str) -> "EngineCheckpointManager":
+        """Attach to an *existing* checkpoint directory, whatever its run.
+
+        The manifest's own recorded signature is adopted, so no mismatch
+        is possible - the entry point for inspection and maintenance
+        tooling (``engine inspect`` / ``engine clean``), which must work
+        without re-deriving the original :class:`EngineConfig`.
+        """
+        manifest = Path(directory) / MANIFEST_NAME
+        if not manifest.exists():
+            raise EngineError(
+                f"{directory} is not a checkpoint directory "
+                f"(no {MANIFEST_NAME})"
+            )
+        return cls(directory, cls._read_manifest(manifest))
+
+    @staticmethod
+    def _read_manifest(manifest: Path) -> Dict[str, Any]:
+        try:
+            recorded = json.loads(manifest.read_text())
+        except (OSError, ValueError) as error:
+            raise EngineError(
+                f"unreadable checkpoint manifest {manifest}: {error}"
+            ) from None
+        if not isinstance(recorded, dict):
+            raise EngineError(
+                f"checkpoint manifest {manifest} does not record a "
+                f"configuration signature"
+            )
+        return recorded
+
     @property
     def directory(self) -> Path:
         return self._directory
+
+    @property
+    def signature(self) -> Dict[str, Any]:
+        """The run-configuration signature this directory belongs to."""
+        return dict(self._signature)
 
     def _shard_path(self, shard_id: int) -> Path:
         return self._directory / f"shard-{shard_id}.pickle"
@@ -157,3 +189,69 @@ class EngineCheckpointManager:
                 path.unlink()
             except OSError:
                 pass
+
+    def describe(self) -> List[Dict[str, Any]]:
+        """Per-shard progress summary for every shard the manifest expects.
+
+        One row per shard id in ``0 .. num_shards - 1`` (shards without a
+        checkpoint file report zero progress), each with the checkpoint's
+        chunk / insert / expire counters and the file size on disk.
+        """
+        num_shards = int(self._signature.get("num_shards", 0))
+        files = self.shard_files()
+        rows: List[Dict[str, Any]] = []
+        for shard_id in range(num_shards):
+            path = files.get(shard_id)
+            if path is None:
+                rows.append(
+                    {
+                        "shard": shard_id,
+                        "chunks_done": 0,
+                        "inserts_done": 0,
+                        "expires_done": 0,
+                        "raw_events_consumed": 0,
+                        "bytes": 0,
+                    }
+                )
+                continue
+            checkpoint = self.load(shard_id)
+            rows.append(
+                {
+                    "shard": shard_id,
+                    "chunks_done": checkpoint.chunks_done,
+                    "inserts_done": checkpoint.inserts_done,
+                    "expires_done": checkpoint.expires_done,
+                    "raw_events_consumed": checkpoint.raw_events_consumed,
+                    "bytes": path.stat().st_size,
+                }
+            )
+        return rows
+
+    def prune(self) -> List[Path]:
+        """Remove files the manifest does not account for; returns them.
+
+        Prunable files are (a) shard checkpoints whose id falls outside
+        the manifest's ``num_shards`` range - leftovers of an earlier,
+        differently-sharded run in a reused directory - and (b) orphaned
+        temp files from interrupted atomic writes (``<name>.<random>``
+        siblings of the manifest or a shard file).  Nothing else is
+        touched: a file this manager did not plausibly create is not this
+        manager's to delete.
+        """
+        num_shards = int(self._signature.get("num_shards", 0))
+        doomed: List[Path] = []
+        for shard_id, path in self.shard_files().items():
+            if not (0 <= shard_id < num_shards):
+                doomed.append(path)
+        for path in self._directory.glob(MANIFEST_NAME + ".*"):
+            doomed.append(path)
+        for path in self._directory.glob("shard-*.pickle.*"):
+            doomed.append(path)
+        removed: List[Path] = []
+        for path in sorted(doomed):
+            try:
+                path.unlink()
+                removed.append(path)
+            except OSError:
+                pass
+        return removed

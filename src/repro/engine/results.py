@@ -6,8 +6,11 @@ have produced.  Everything here is built around that requirement:
 
 * :class:`SeriesFragment` - the metrics of one mechanism (or the offline
   optimum) over one contiguous range of a shard's inserts: the clock-size
-  samples (optionally strided), the final size, and the mergeable moment
-  statistics of the pointwise competitive ratios;
+  samples (optionally strided), the final size, the cumulative
+  component-retirement count, and - for the pointwise competitive ratios
+  - both the mergeable moment statistics and a mergeable
+  :class:`~repro.analysis.metrics.QuantileSketch`, which restores
+  median / tail percentiles across shards at million-event scale;
 * :class:`PartialResult` - a set of fragments keyed by ``(shard, label)``
   plus global event counts.  ``merge`` is the engine's only combining
   operation: fragments of *different* keys union (shards are
@@ -31,10 +34,11 @@ chunk boundaries regardless of how the run was chunked.
 from __future__ import annotations
 
 import hashlib
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
-from repro.analysis.metrics import MergeableStats
+from repro.analysis.metrics import MergeableStats, QuantileSketch
 from repro.exceptions import EngineError
 
 #: Key under which the dynamic offline optimum's fragments are stored.
@@ -50,11 +54,23 @@ class SeriesFragment:
     ``start`` and ``count`` are in shard-local insert coordinates:
     the fragment covers inserts ``start .. start + count - 1`` of its
     shard's sub-stream.  ``samples`` holds the clock sizes at the covered
-    indices divisible by ``stride``; ``final_size`` is the size after the
-    last covered insert (carried forward unchanged by empty fragments).
+    indices divisible by ``stride``; ``final_size`` is the clock size at
+    the fragment's end (after its last covered insert *and* any trailing
+    expire / epoch ticks the producing chunk delivered).
     ``ratios`` summarises the pointwise online/offline ratios of the
     covered inserts (empty for the offline label itself, and when the
-    run disabled the optimum).
+    run disabled the optimum); ``sketch`` is the mergeable quantile
+    companion of the same samples, restoring median / tail percentiles
+    across shards (``None`` when no ratios were recorded).  ``retired``
+    is the label's *cumulative* component-retirement count as of the
+    fragment's end, 0 forever for append-only mechanisms.
+
+    A fragment with ``count == 0`` is a *lifecycle-update* record: a
+    chunk that covered no inserts but whose expire / epoch ticks moved
+    the mechanism's clock (a window-aware mechanism retiring between
+    inserts, an epoch rebuild on an otherwise idle shard).  It
+    contributes no samples or ratios; its ``final_size`` / ``retired``
+    are the state at its range end, which merging carries forward.
     """
 
     start: int
@@ -63,6 +79,8 @@ class SeriesFragment:
     final_size: int
     samples: Tuple[int, ...] = ()
     ratios: MergeableStats = field(default_factory=MergeableStats)
+    sketch: Optional[QuantileSketch] = None
+    retired: int = 0
 
     @property
     def end(self) -> int:
@@ -89,13 +107,24 @@ class SeriesFragment:
                 f"cannot merge non-contiguous fragments: [{earlier.start}, "
                 f"{earlier.end}) then [{later.start}, {later.end})"
             )
+        if earlier.sketch is None:
+            sketch = later.sketch
+        elif later.sketch is None:
+            sketch = earlier.sketch
+        else:
+            sketch = earlier.sketch.merge(later.sketch)
+        # Contiguity makes ``later`` temporally last, so its carried
+        # state (final size, cumulative retirements) wins even when it is
+        # a count-0 lifecycle-update fragment.
         return SeriesFragment(
             start=earlier.start,
             count=earlier.count + later.count,
             stride=earlier.stride,
-            final_size=later.final_size if later.count else earlier.final_size,
+            final_size=later.final_size,
             samples=earlier.samples + later.samples,
             ratios=earlier.ratios.merge(later.ratios),
+            sketch=sketch,
+            retired=later.retired,
         )
 
 
@@ -104,13 +133,15 @@ class PartialResult:
     """The mergeable metrics of any subset of a run's (shard, chunk) grid.
 
     ``series`` maps ``(shard_id, label)`` to that pair's fragment;
-    ``inserts`` / ``expires`` count the stream events the subset covered.
-    Treat instances as immutable: ``merge`` returns a new object and
-    never mutates either operand's mapping.
+    ``inserts`` / ``expires`` / ``epochs`` count the stream events and
+    epoch boundaries the subset covered (epochs sum across shards: each
+    shard ticks its own).  Treat instances as immutable: ``merge``
+    returns a new object and never mutates either operand's mapping.
     """
 
     inserts: int = 0
     expires: int = 0
+    epochs: int = 0
     series: Mapping[SeriesKey, SeriesFragment] = field(default_factory=dict)
 
     def merge(self, other: "PartialResult") -> "PartialResult":
@@ -122,6 +153,7 @@ class PartialResult:
         return PartialResult(
             inserts=self.inserts + other.inserts,
             expires=self.expires + other.expires,
+            epochs=self.epochs + other.epochs,
             series=merged,
         )
 
@@ -177,6 +209,10 @@ class EngineResult:
     def expires(self) -> int:
         return self.partial.expires
 
+    @property
+    def epochs(self) -> int:
+        return self.partial.epochs
+
     def final_sizes(self, label: str) -> Dict[int, int]:
         """Final clock size per shard for one mechanism label."""
         return {
@@ -184,6 +220,14 @@ class EngineResult:
             for (shard, lbl), fragment in self.partial.series.items()
             if lbl == label
         }
+
+    def retired_components(self, label: str) -> int:
+        """Total components retired by one label, summed over shards."""
+        return sum(
+            fragment.retired
+            for (_, lbl), fragment in self.partial.series.items()
+            if lbl == label
+        )
 
     def pooled_ratios(self, label: str) -> MergeableStats:
         """Competitive-ratio statistics pooled over every shard."""
@@ -193,6 +237,52 @@ class EngineResult:
             if key in self.partial.series:
                 pooled = pooled.merge(self.partial.series[key].ratios)
         return pooled
+
+    def pooled_ratio_sketch(self, label: str) -> Optional[QuantileSketch]:
+        """Mergeable quantile sketch of the ratios, pooled over shards.
+
+        Folded in shard-id order (the fixed merge tree), so the result -
+        and the percentiles derived from it - is identical across
+        ``--jobs`` values.  ``None`` when no shard recorded ratios for
+        the label (the offline series, or optimum-less runs).
+        """
+        pooled: Optional[QuantileSketch] = None
+        for shard in self.partial.shard_ids():
+            fragment = self.partial.series.get((shard, label))
+            if fragment is None or fragment.sketch is None:
+                continue
+            pooled = fragment.sketch if pooled is None else pooled.merge(fragment.sketch)
+        return pooled
+
+    def shard_loads(self) -> Dict[int, int]:
+        """Insert count per shard, including shards that received nothing.
+
+        (An empty shard freezes no fragment, so it would be invisible in
+        ``partial.series``; the skew check needs to see its zero.)
+        """
+        loads: Dict[int, int] = {shard: 0 for shard in range(self.num_shards)}
+        for (shard, _), fragment in self.partial.series.items():
+            loads[shard] = fragment.count
+        return loads
+
+    def shard_skew(self) -> float:
+        """Max/min shard load ratio (``inf`` when a shard got nothing).
+
+        The hash strategy can skew badly when the thread population is
+        tiny relative to the shard count; the CLI warns when this ratio
+        exceeds its ``--skew-warn`` bound.  1.0 for runs with at most one
+        shard or no inserts at all.
+        """
+        loads = self.shard_loads()
+        if len(loads) <= 1:
+            return 1.0
+        heaviest = max(loads.values())
+        lightest = min(loads.values())
+        if heaviest == 0:
+            return 1.0
+        if lightest == 0:
+            return math.inf
+        return heaviest / lightest
 
     def _canonical_lines(self) -> List[str]:
         """One line per series, in sorted key order (the fingerprint input).
@@ -204,17 +294,25 @@ class EngineResult:
             f"scenario={self.scenario} shards={self.num_shards} "
             f"strategy={self.strategy} seed={self.seed} window={self.window} "
             f"chunk={self.chunk_size} inserts={self.inserts} "
-            f"expires={self.expires}"
+            f"expires={self.expires} epochs={self.epochs}"
         ]
         for (shard, label), frag in sorted(self.partial.series.items()):
             stats = frag.ratios
+            sketch = frag.sketch
+            if sketch is not None and sketch.count:
+                quantiles = (
+                    f"{sketch.percentile(50.0)!r}/{sketch.percentile(95.0)!r}"
+                )
+            else:
+                quantiles = "-"
             lines.append(
                 f"shard={shard} label={label} start={frag.start} "
                 f"count={frag.count} stride={frag.stride} "
-                f"final={frag.final_size} samples={frag.samples!r} "
+                f"final={frag.final_size} retired={frag.retired} "
+                f"samples={frag.samples!r} "
                 f"ratio_count={stats.count} ratio_mean={stats.mean!r} "
                 f"ratio_m2={stats.m2!r} ratio_min={stats.minimum!r} "
-                f"ratio_max={stats.maximum!r}"
+                f"ratio_max={stats.maximum!r} ratio_p50_p95={quantiles}"
             )
         return lines
 
@@ -235,16 +333,19 @@ class EngineResult:
             f"({self.strategy}) seed={self.seed} "
             f"window={self.window if self.window is not None else '-'} "
             f"chunk={self.chunk_size}\n"
-            f"events: {self.inserts} inserts, {self.expires} expires"
+            f"events: {self.inserts} inserts, {self.expires} expires, "
+            f"{self.epochs} epoch boundaries"
         )
         rows: List[Dict[str, object]] = []
         for label in self.partial.labels():
             finals = self.final_sizes(label)
             stats = self.pooled_ratios(label)
+            sketch = self.pooled_ratio_sketch(label)
             row: Dict[str, object] = {
                 "series": label,
                 "final(sum)": sum(finals.values()),
                 "final(max)": max(finals.values()) if finals else 0,
+                "retired": self.retired_components(label),
             }
             if stats.count:
                 row["ratio mean"] = f"{stats.mean:.3f}"
@@ -252,6 +353,12 @@ class EngineResult:
             else:
                 row["ratio mean"] = "-"
                 row["ratio max"] = "-"
+            if sketch is not None and sketch.count:
+                row["ratio p50"] = f"{sketch.percentile(50.0):.3f}"
+                row["ratio p95"] = f"{sketch.percentile(95.0):.3f}"
+            else:
+                row["ratio p50"] = "-"
+                row["ratio p95"] = "-"
             rows.append(row)
         shard_rows: List[Dict[str, object]] = []
         for shard in self.partial.shard_ids():

@@ -44,7 +44,7 @@ from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.analysis.experiments import EXTENDED_MECHANISMS
-from repro.analysis.metrics import RunningStats
+from repro.analysis.metrics import QuantileSketch, RunningStats
 from repro.computation.registry import REGISTRY, STREAM
 from repro.engine.checkpoint import EngineCheckpointManager, ShardCheckpoint
 from repro.engine.executor import ShardExecutor
@@ -81,7 +81,12 @@ class EngineConfig:
     shapes the wall-clock (worker count, backend) deliberately does not.
     ``trajectory_stride=0`` means auto: sample roughly a thousand points
     over the whole run so million-event trajectories stay plottable
-    without carrying millions of samples per label.
+    without carrying millions of samples per label.  ``epoch_every``
+    delivers a shard-local epoch boundary to every mechanism after that
+    many of the shard's inserts (on top of any markers the scenario
+    emits); it is part of the run's identity - window-aware mechanisms
+    restructure their clocks at boundaries - so it lives in the
+    signature, unlike ``--jobs``.
     """
 
     scenario: str
@@ -93,6 +98,7 @@ class EngineConfig:
     num_shards: int = 8
     chunk_size: int = 10_000
     window: Optional[int] = None
+    epoch_every: Optional[int] = None
     mechanisms: Tuple[str, ...] = ("naive", "random", "popularity")
     include_offline: bool = True
     strategy: str = HASH
@@ -123,6 +129,10 @@ class EngineConfig:
                     f"scenario {self.scenario!r} emits its own expire events; "
                     f"a sliding window cannot be imposed on top"
                 )
+        if self.epoch_every is not None and self.epoch_every < 1:
+            raise EngineError(
+                f"epoch_every must be >= 1, got {self.epoch_every}"
+            )
         if self.strategy not in STRATEGIES:
             raise EngineError(
                 f"unknown sharding strategy {self.strategy!r} "
@@ -170,6 +180,7 @@ class EngineConfig:
             "num_shards": self.num_shards,
             "chunk_size": self.chunk_size,
             "window": self.window,
+            "epoch_every": self.epoch_every,
             "mechanisms": list(self.mechanisms),
             "include_offline": self.include_offline,
             "strategy": self.strategy,
@@ -195,28 +206,49 @@ class _ChunkBuffers:
         self.stride = stride
         self.inserts = 0
         self.expires = 0
+        self.epochs = 0
         self.samples: Dict[str, List[int]] = {label: [] for label in labels}
         self.final: Dict[str, int] = {}
+        self.retired: Dict[str, int] = {label: 0 for label in labels}
         self.ratios: Dict[str, RunningStats] = {label: RunningStats() for label in labels}
+        # The quantile companion of the moment statistics; the offline
+        # series has no ratios, so it carries no sketch either.
+        self.sketches: Dict[str, QuantileSketch] = (
+            {label: QuantileSketch() for label in labels} if include_offline else {}
+        )
         if include_offline:
             self.samples[OFFLINE_LABEL] = []
             self.ratios[OFFLINE_LABEL] = RunningStats()
 
     def freeze(self, shard_id: int) -> PartialResult:
-        """The chunk as a mergeable partial (empty chunks freeze to nothing)."""
+        """The chunk as a mergeable partial.
+
+        Chunks covering no inserts can still carry facts: expire and
+        epoch ticks update ``final`` / ``retired`` (a window-aware
+        mechanism shrinks between inserts), so a label with recorded
+        state freezes to a count-0 *lifecycle-update* fragment - the
+        merge algebra takes the temporally later fragment's carried
+        values, so a trailing expire-only chunk is not lost.  A label
+        with no recorded state (e.g. the offline series of an
+        insert-less chunk) freezes to nothing.
+        """
         series: Dict[Tuple[int, str], SeriesFragment] = {}
-        if self.inserts:
-            for label, samples in self.samples.items():
-                series[(shard_id, label)] = SeriesFragment(
-                    start=self.start,
-                    count=self.inserts,
-                    stride=self.stride,
-                    final_size=self.final[label],
-                    samples=tuple(samples),
-                    ratios=self.ratios[label].freeze(),
-                )
+        for label, samples in self.samples.items():
+            if label not in self.final:
+                continue
+            series[(shard_id, label)] = SeriesFragment(
+                start=self.start,
+                count=self.inserts,
+                stride=self.stride,
+                final_size=self.final[label],
+                samples=tuple(samples),
+                ratios=self.ratios[label].freeze(),
+                sketch=self.sketches.get(label),
+                retired=self.retired.get(label, 0),
+            )
         return PartialResult(
-            inserts=self.inserts, expires=self.expires, series=series
+            inserts=self.inserts, expires=self.expires, epochs=self.epochs,
+            series=series,
         )
 
 
@@ -326,21 +358,41 @@ def run_shard(config: EngineConfig, shard_id: int) -> PartialResult:
             config.mechanisms, inserts_done, config.stride, config.include_offline
         )
 
+    def deliver_epoch() -> None:
+        """One epoch boundary: every mechanism may restructure its clock."""
+        chunk.epochs += 1
+        for label, mechanism in mechanisms.items():
+            mechanism.end_epoch()
+            # A rebuild changes the clock between inserts; keep the
+            # carried-forward facts current so a chunk ending right after
+            # a boundary freezes the post-boundary state.
+            chunk.final[label] = mechanism.clock_size
+            chunk.retired[label] = mechanism.retired_total
+
+    def deliver_expire(thread, obj) -> None:
+        """One expiry: mechanisms may retire, the optimum retracts the edge."""
+        for label, mechanism in mechanisms.items():
+            mechanism.expire(thread, obj)
+            chunk.final[label] = mechanism.clock_size
+            chunk.retired[label] = mechanism.retired_total
+        if engine is not None:
+            engine.remove_edge(thread, obj)
+        chunk.expires += 1
+
     for shard, event in tagged:
         raw_consumed += 1
         if shard != shard_id:
             continue
+        if event.is_epoch:
+            deliver_epoch()
+            continue
         if event.is_expire:
-            if engine is not None:
-                engine.remove_edge(event.thread, event.obj)
-            chunk.expires += 1
+            deliver_expire(event.thread, event.obj)
             continue
         if live_window is not None:
             if config.window is not None and len(live_window) == config.window:
                 old_thread, old_obj = live_window.popleft()
-                if engine is not None:
-                    engine.remove_edge(old_thread, old_obj)
-                chunk.expires += 1
+                deliver_expire(old_thread, old_obj)
             live_window.append(event.pair)
         offline_size = 0
         if engine is not None:
@@ -352,16 +404,23 @@ def run_shard(config: EngineConfig, shard_id: int) -> PartialResult:
             mechanism.observe(event.thread, event.obj)
             size = mechanism.clock_size
             chunk.final[label] = size
+            chunk.retired[label] = mechanism.retired_total
             if sample_point:
                 chunk.samples[label].append(size)
             if offline_size:
                 chunk.ratios[label].update(size / offline_size)
+                chunk.sketches[label].update(size / offline_size)
         if engine is not None:
             chunk.final[OFFLINE_LABEL] = offline_size
             if sample_point:
                 chunk.samples[OFFLINE_LABEL].append(offline_size)
         inserts_done += 1
         chunk.inserts += 1
+        if (
+            config.epoch_every is not None
+            and inserts_done % config.epoch_every == 0
+        ):
+            deliver_epoch()
         if chunk.inserts == config.chunk_size:
             complete_chunk()
             if (
@@ -372,7 +431,7 @@ def run_shard(config: EngineConfig, shard_id: int) -> PartialResult:
                     f"shard {shard_id} stopped after {chunks_done} chunks "
                     f"({inserts_done} inserts checkpointed)"
                 )
-    if chunk.inserts or chunk.expires:
+    if chunk.inserts or chunk.expires or chunk.epochs:
         complete_chunk()
     return partial
 

@@ -106,9 +106,18 @@ class StreamSharder:
         The stream is consumed exactly once; relative order is preserved
         (and hence preserved within every shard).  Bare ``(thread,
         object)`` pairs are coerced to insert events, as everywhere else.
+        Epoch markers carry no thread, so they are *broadcast*: one
+        tagged copy per shard, in shard-id order - an epoch boundary is a
+        global tick, and every per-shard monitoring agent must observe
+        it.  (The broadcast is part of the deterministic replay: resumed
+        runs fast-forward by counting tagged events, markers included.)
         """
         for item in events:
             event = as_stream_event(item)
+            if event.is_epoch:
+                for shard in range(self.num_shards):
+                    yield shard, event
+                continue
             yield self.shard_of(event.thread), event
 
     def select(

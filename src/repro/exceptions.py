@@ -70,6 +70,19 @@ class AmbiguousTimestampError(ClockError):
     """
 
 
+class RetimestampingError(ClockError):
+    """Raised when an epoch rotation fails its re-timestamping invariant.
+
+    Rotating a clock kernel to a new component set replays the live
+    window's events; the replayed timestamps must reference only the new
+    epoch's components and must preserve every happened-before /
+    concurrent verdict among live events.  A violation means the new
+    component set does not cover the live window (or the caller replayed
+    the wrong events) - continuing would silently corrupt causality
+    queries, so the rotation is aborted instead.
+    """
+
+
 class OnlineMechanismError(ReproError):
     """Raised when an online mechanism is misused (e.g. reused across runs)."""
 

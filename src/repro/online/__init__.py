@@ -1,6 +1,18 @@
 """Online mechanisms (Section IV) and the online simulation driver."""
 
-from repro.online.base import OBJECT, THREAD, Decision, OnlineMechanism
+from repro.online.adaptive import (
+    EpochRotatingHybridMechanism,
+    LifecycleClockDriver,
+    WindowedPopularityMechanism,
+)
+from repro.online.base import (
+    OBJECT,
+    THREAD,
+    Decision,
+    OnlineMechanism,
+    Retirement,
+    popularity_choice,
+)
 from repro.online.hybrid import HybridMechanism
 from repro.online.naive import NaiveMechanism
 from repro.online.popularity import PopularityMechanism
@@ -26,7 +38,9 @@ from repro.online.simulator import (
 
 __all__ = [
     "Decision",
+    "EpochRotatingHybridMechanism",
     "HybridMechanism",
+    "LifecycleClockDriver",
     "NaiveMechanism",
     "OBJECT",
     "OFFLINE_LABEL",
@@ -35,14 +49,17 @@ __all__ = [
     "OnlineRunResult",
     "PopularityMechanism",
     "RandomMechanism",
+    "Retirement",
     "SensitivityResult",
     "SparseTimestamp",
     "THREAD",
+    "WindowedPopularityMechanism",
     "compare_mechanisms",
     "compare_mechanisms_on_stream",
     "compare_order_sensitivity",
     "offline_optimum_result",
     "order_sensitivity",
+    "popularity_choice",
     "reveal_order",
     "run_mechanism",
     "run_mechanism_on_computation",

@@ -1,0 +1,338 @@
+"""Window-aware adaptive mechanisms: online clocks that shrink again.
+
+Every mechanism of Section IV is append-only: a component, once adopted,
+is kept forever.  Under the sliding-window streams of the monitoring
+regime that is exactly wrong - the offline optimum tracks the *live*
+window and dips back down as events expire, so an append-only clock's
+steady-state competitive ratio degrades monotonically (visible in
+``python -m repro sweep ratio``).  The two mechanisms here close that gap
+through the lifecycle protocol of :class:`~repro.online.base.OnlineMechanism`
+(``observe`` / ``expire`` / ``end_epoch``):
+
+* :class:`WindowedPopularityMechanism` - the paper's Popularity policy
+  for the per-event choice, plus *retirement*: it counts, per component,
+  the live events the component's vertex participates in, and gives the
+  slot back the moment (or, with ``eager=False``, at the first epoch
+  boundary after) the count hits zero.  Retiring only endpoint-dead
+  components is what keeps re-timestamping sound: a live event blocks
+  the retirement of both its endpoints, so every live event keeps a live
+  incrementing component and all live-pair causal verdicts survive the
+  slot compaction (the invariant
+  :func:`~repro.core.timestamping.verify_retimestamping` checks).
+
+* :class:`EpochRotatingHybridMechanism` - the adaptive sibling of
+  :class:`~repro.online.hybrid.HybridMechanism`.  Between boundaries it
+  runs the hybrid policy on the *live* graph (Popularity while the live
+  graph is small and sparse, a fixed side once thresholds are crossed);
+  at each ``end_epoch`` it rebuilds its component set wholesale from the
+  live window's König cover (maintained incrementally by
+  :class:`~repro.graph.incremental.DynamicMatching`), so right after a
+  boundary its clock is *optimal for the live window* and the hybrid
+  switch restarts from the Popularity phase.
+
+:class:`LifecycleClockDriver` is the timestamping tie-in: it couples any
+lifecycle mechanism with an :class:`~repro.core.timestamping.EpochClock`,
+extending the kernel when the mechanism appends a component and rotating
+the epoch (replay + optional invariant check) whenever the mechanism
+retires or rebuilds.  The property-test suite drives it to prove that
+adaptive mechanisms preserve happened-before / concurrent verdicts for
+every live-window event pair across retirements and rotations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core.timestamping import EpochClock
+from repro.exceptions import OnlineMechanismError
+from repro.graph.bipartite import BipartiteGraph, Vertex
+from repro.graph.incremental import DynamicMatching
+from repro.online.base import (
+    OBJECT,
+    THREAD,
+    OnlineMechanism,
+    popularity_choice,
+)
+
+
+def _canonical_key(vertex: Vertex) -> Tuple[str, str]:
+    """The ``(type name, repr)`` ordering key shared with the simulator."""
+    return (type(vertex).__name__, repr(vertex))
+
+
+class WindowedPopularityMechanism(OnlineMechanism):
+    """Popularity's choice policy plus retirement of window-dead components.
+
+    Parameters
+    ----------
+    tie_break:
+        Popularity tie side, as in
+        :class:`~repro.online.popularity.PopularityMechanism` (the choice
+        policy is identical on purpose, so comparing this mechanism with
+        plain Popularity isolates the effect of retirement).
+    eager:
+        When ``True`` (default) a component is retired by the expire tick
+        that kills its last live event; when ``False`` dead components
+        linger until the next ``end_epoch`` sweep.
+    """
+
+    name = "adaptive-popularity"
+    window_aware = True
+
+    def __init__(self, tie_break: str = THREAD, eager: bool = True) -> None:
+        super().__init__()
+        if tie_break not in (THREAD, OBJECT):
+            raise OnlineMechanismError(
+                f"tie_break must be {THREAD!r} or {OBJECT!r}, got {tie_break!r}"
+            )
+        self._tie_break = tie_break
+        self._eager = eager
+        # Live events per endpoint vertex.  A vertex may only be retired
+        # while its count is zero: that is the condition under which slot
+        # compaction preserves every live-pair verdict.
+        self._live_by_thread: Dict[Vertex, int] = {}
+        self._live_by_object: Dict[Vertex, int] = {}
+
+    def _choose(self, thread: Vertex, obj: Vertex) -> str:
+        # Same policy as PopularityMechanism: degrees in the revealed
+        # (append-only) graph, which observe() has already updated.
+        return popularity_choice(self.revealed_graph, thread, obj, self._tie_break)
+
+    # -- lifecycle hooks ----------------------------------------------------
+    def _on_observe(self, thread: Vertex, obj: Vertex) -> None:
+        self._live_by_thread[thread] = self._live_by_thread.get(thread, 0) + 1
+        self._live_by_object[obj] = self._live_by_object.get(obj, 0) + 1
+
+    def _on_expire(self, thread: Vertex, obj: Vertex) -> None:
+        for counts, vertex in (
+            (self._live_by_thread, thread),
+            (self._live_by_object, obj),
+        ):
+            count = counts.get(vertex, 0)
+            if count <= 0:
+                raise OnlineMechanismError(
+                    f"expire of ({thread!r}, {obj!r}) retracts an occurrence "
+                    f"that was never observed"
+                )
+            if count == 1:
+                del counts[vertex]
+            else:
+                counts[vertex] = count - 1
+        if self._eager:
+            if thread not in self._live_by_thread and thread in self._thread_components:
+                self._retire_component(thread)
+            if obj not in self._live_by_object and obj in self._object_components:
+                self._retire_component(obj)
+
+    def _on_end_epoch(self) -> Tuple[Vertex, ...]:
+        # With eager retirement this sweep is a no-op; without it, the
+        # boundary is where the window's dead components are reclaimed.
+        dead = [
+            component
+            for kind, component in self._component_order
+            if (
+                component not in self._live_by_thread
+                if kind == THREAD
+                else component not in self._live_by_object
+            )
+        ]
+        dead.sort(key=_canonical_key)
+        for component in dead:
+            self._retire_component(component)
+        return tuple(dead)
+
+
+class EpochRotatingHybridMechanism(OnlineMechanism):
+    """Hybrid policy on the live graph, König-cover rebuild at epochs.
+
+    Parameters mirror :class:`~repro.online.hybrid.HybridMechanism`
+    (thresholds evaluated against the *live* graph) - except that the
+    switch to the Naive side resets at every epoch boundary, because the
+    rebuild restores an optimal-for-the-window component set and the
+    Popularity phase is the right regime for a small live cover.
+    """
+
+    name = "epoch-hybrid"
+    window_aware = True
+
+    def __init__(
+        self,
+        density_threshold: float = 0.15,
+        node_threshold: int = 140,
+        naive_side: str = THREAD,
+        warmup_edges: int = 30,
+    ) -> None:
+        super().__init__()
+        if density_threshold < 0.0:
+            raise OnlineMechanismError("density_threshold must be non-negative")
+        if node_threshold < 0:
+            raise OnlineMechanismError("node_threshold must be non-negative")
+        if warmup_edges < 0:
+            raise OnlineMechanismError("warmup_edges must be non-negative")
+        if naive_side not in (THREAD, OBJECT):
+            raise OnlineMechanismError(
+                f"naive_side must be {THREAD!r} or {OBJECT!r}, got {naive_side!r}"
+            )
+        self._density_threshold = density_threshold
+        self._node_threshold = node_threshold
+        self._naive_side = naive_side
+        self._warmup_edges = warmup_edges
+        self._switched_at: Optional[int] = None
+        # The live window's graph and its maximum matching / König cover,
+        # maintained across inserts and expiries.
+        self._live = DynamicMatching(record_trajectory=False)
+
+    # -- introspection ------------------------------------------------------
+    @property
+    def live_graph(self) -> BipartiteGraph:
+        """The live (non-expired) thread-object graph."""
+        return self._live.graph
+
+    @property
+    def live_optimum(self) -> int:
+        """Minimum vertex cover size of the live graph (the rebuild target)."""
+        return self._live.cover_size
+
+    @property
+    def switched_at(self) -> Optional[int]:
+        """Event index of the current epoch's switch to Naive, if any."""
+        return self._switched_at
+
+    # -- policy -------------------------------------------------------------
+    def _exceeds_thresholds(self) -> bool:
+        graph = self._live.graph
+        density_exceeded = (
+            graph.num_edges >= self._warmup_edges
+            and graph.density() > self._density_threshold
+        )
+        return density_exceeded or graph.num_vertices > self._node_threshold
+
+    def _choose(self, thread: Vertex, obj: Vertex) -> str:
+        if self._switched_at is None and self._exceeds_thresholds():
+            self._switched_at = self.events_seen - 1
+        if self._switched_at is not None:
+            return self._naive_side
+        return popularity_choice(self._live.graph, thread, obj, THREAD)
+
+    # -- lifecycle hooks ----------------------------------------------------
+    def _on_observe(self, thread: Vertex, obj: Vertex) -> None:
+        self._live.add_edge(thread, obj)
+
+    def _on_expire(self, thread: Vertex, obj: Vertex) -> None:
+        self._live.remove_edge(thread, obj)
+
+    def _on_end_epoch(self) -> Tuple[Vertex, ...]:
+        cover = self._live.vertex_cover()
+        live_graph = self._live.graph
+        want_threads = {v for v in cover if live_graph.has_thread(v)}
+        want_objects = {v for v in cover if live_graph.has_object(v)}
+        retired = [
+            component
+            for kind, component in self._component_order
+            if component not in (want_threads if kind == THREAD else want_objects)
+        ]
+        retired.sort(key=_canonical_key)
+        for component in retired:
+            self._retire_component(component)
+        for vertex in sorted(want_threads, key=_canonical_key):
+            self._add_component(THREAD, vertex)
+        for vertex in sorted(want_objects, key=_canonical_key):
+            self._add_component(OBJECT, vertex)
+        # A fresh, window-optimal cover restarts the hybrid schedule.
+        self._switched_at = None
+        return tuple(retired)
+
+
+class LifecycleClockDriver:
+    """Issue real timestamps while a lifecycle mechanism shapes the clock.
+
+    The driver forwards each lifecycle tick to the mechanism first, then
+    mirrors the resulting component-set change onto an
+    :class:`~repro.core.timestamping.EpochClock`:
+
+    * a component *appended* by ``observe`` extends the kernel in place
+      (no epoch change - existing timestamps just gain a zero slot);
+    * any *retirement or rebuild* (from an expire tick or an epoch
+      boundary) rotates the kernel to the mechanism's new component set,
+      replaying the live window so every surviving event is
+      re-timestamped in the new epoch's basis.
+
+    With ``check_invariant=True`` every rotation proves the
+    re-timestamping invariant (verdict preservation over all live pairs)
+    before committing - the property the test suite leans on.
+    """
+
+    def __init__(
+        self, mechanism: OnlineMechanism, check_invariant: bool = False
+    ) -> None:
+        if mechanism.events_seen:
+            raise OnlineMechanismError(
+                "mechanism has already observed events; use a fresh one"
+            )
+        self._mechanism = mechanism
+        self._clock = EpochClock(
+            mechanism.components(), check_invariant=check_invariant
+        )
+
+    # -- introspection ------------------------------------------------------
+    @property
+    def mechanism(self) -> OnlineMechanism:
+        return self._mechanism
+
+    @property
+    def clock(self) -> EpochClock:
+        return self._clock
+
+    @property
+    def clock_size(self) -> int:
+        return self._mechanism.clock_size
+
+    def live_tokens(self) -> Tuple[int, ...]:
+        return self._clock.live_tokens()
+
+    # -- lifecycle ----------------------------------------------------------
+    def observe(self, thread: Vertex, obj: Vertex) -> int:
+        """Reveal one event; returns its :class:`EpochClock` token."""
+        retired_before = self._mechanism.retired_total
+        added = self._mechanism.observe(thread, obj)
+        if self._mechanism.retired_total != retired_before:
+            # No current mechanism retires on observe, but the protocol
+            # does not forbid it; fall back to a full rotation.
+            self._clock.rotate(self._mechanism.components())
+        elif added is not None:
+            if added in self._mechanism.thread_components:
+                self._clock.extend(thread_components=(added,))
+            else:
+                self._clock.extend(object_components=(added,))
+        return self._clock.observe(thread, obj)
+
+    def expire(self, thread: Vertex, obj: Vertex) -> int:
+        """Expire one live occurrence; returns the expired token."""
+        retired_before = self._mechanism.retired_total
+        self._mechanism.expire(thread, obj)
+        token = self._clock.expire(thread, obj)
+        if self._mechanism.retired_total != retired_before:
+            self._clock.rotate(self._mechanism.components())
+        return token
+
+    def end_epoch(self) -> Tuple[Vertex, ...]:
+        """Deliver an epoch boundary; rotates the clock if the set changed."""
+        before = self._mechanism.components()
+        retired = self._mechanism.end_epoch()
+        after = self._mechanism.components()
+        if after != before:
+            self._clock.rotate(after)
+        return retired
+
+    # -- causality queries --------------------------------------------------
+    def timestamp(self, token: int):
+        return self._clock.timestamp(token)
+
+    def relation(self, token_a: int, token_b: int) -> str:
+        return self._clock.relation(token_a, token_b)
+
+    def happened_before(self, token_a: int, token_b: int) -> bool:
+        return self._clock.happened_before(token_a, token_b)
+
+    def concurrent(self, token_a: int, token_b: int) -> bool:
+        return self._clock.concurrent(token_a, token_b)

@@ -1,12 +1,12 @@
 """Base machinery for online mixed-vector-clock mechanisms (Section IV).
 
-In the online setting the computation is revealed one event at a time and
-the existing clock components may never be removed or replaced - only new
-components may be appended.  When an event ``(t, o)`` arrives whose thread
-and object are both outside the current component set, the mechanism *must*
-add one of the two endpoints (otherwise that event could not be ordered);
-which endpoint it picks is the whole difference between the mechanisms the
-paper compares:
+In the paper's online setting the computation is revealed one event at a
+time and the existing clock components may never be removed or replaced -
+only new components may be appended.  When an event ``(t, o)`` arrives
+whose thread and object are both outside the current component set, the
+mechanism *must* add one of the two endpoints (otherwise that event could
+not be ordered); which endpoint it picks is the whole difference between
+the mechanisms the paper compares:
 
 * :class:`~repro.online.naive.NaiveMechanism` - always the thread (or
   always the object);
@@ -18,10 +18,24 @@ paper compares:
   / size thresholds are crossed, then Naive (the practical recipe the paper
   suggests at the end of Section V).
 
-:class:`OnlineMechanism` implements everything except the choice itself:
-it maintains the revealed bipartite graph, the growing component set, and
-the decision log, and defers to :meth:`OnlineMechanism._choose` for the
-single policy decision.
+The streaming extension relaxes the append-only constraint through a
+*lifecycle protocol*: drivers now deliver three kinds of ticks,
+
+* :meth:`OnlineMechanism.observe` - one revealed event (the paper's only
+  hook);
+* :meth:`OnlineMechanism.expire` - one previously revealed occurrence
+  fell out of the monitoring window;
+* :meth:`OnlineMechanism.end_epoch` - an epoch boundary, the only point
+  at which a mechanism may *retire* (or wholesale rebuild) components.
+
+The base class implements the bookkeeping for all three and defers to
+hooks: :meth:`OnlineMechanism._choose` (the single policy decision, as
+before) plus the no-op-by-default :meth:`OnlineMechanism._on_observe`,
+:meth:`OnlineMechanism._on_expire` and :meth:`OnlineMechanism._on_end_epoch`.
+Append-only mechanisms override nothing new and behave exactly as before
+- expire and epoch ticks pass through the no-op shims - while the
+window-aware mechanisms in :mod:`repro.online.adaptive` override the
+hooks to bound their live clock to the live window.
 """
 
 from __future__ import annotations
@@ -37,6 +51,26 @@ from repro.graph.bipartite import BipartiteGraph, Vertex
 #: The two possible choices a mechanism can make for an uncovered event.
 THREAD = "thread"
 OBJECT = "object"
+
+
+def popularity_choice(
+    graph: BipartiteGraph, thread: Vertex, obj: Vertex, tie_break: str = THREAD
+) -> str:
+    """Definition 1's policy: pick the endpoint more popular in ``graph``.
+
+    Shared by :class:`~repro.online.popularity.PopularityMechanism`,
+    the pre-switch phase of :class:`~repro.online.hybrid.HybridMechanism`
+    and the adaptive mechanisms (which apply it to their live graph).
+    Both popularities share the denominator ``|E|``, so the comparison
+    reduces to degrees; ties go to ``tie_break``.
+    """
+    thread_popularity = graph.popularity(thread)
+    object_popularity = graph.popularity(obj)
+    if thread_popularity > object_popularity:
+        return THREAD
+    if object_popularity > thread_popularity:
+        return OBJECT
+    return tie_break
 
 
 @dataclass(frozen=True)
@@ -55,16 +89,41 @@ class Decision:
     component: Vertex
 
 
+@dataclass(frozen=True)
+class Retirement:
+    """A log record of one component-retirement decision.
+
+    ``event_index`` is the number of events revealed when the component
+    was retired, ``epoch`` the epoch count at that moment (epoch
+    boundaries increment it *before* their retirements are logged),
+    ``kind`` is ``"thread"`` or ``"object"`` and ``component`` the vertex
+    whose slot was given back.
+    """
+
+    event_index: int
+    epoch: int
+    kind: str
+    component: Vertex
+
+
 class OnlineMechanism(abc.ABC):
     """Common state machine for all online mechanisms.
 
-    Subclasses implement only :meth:`_choose`, which is called exactly when
-    a revealed event is not yet covered and must return ``THREAD`` or
-    ``OBJECT``.
+    Subclasses implement :meth:`_choose`, which is called exactly when a
+    revealed event is not yet covered and must return ``THREAD`` or
+    ``OBJECT``; lifecycle-aware subclasses additionally override the
+    :meth:`_on_observe` / :meth:`_on_expire` / :meth:`_on_end_epoch`
+    hooks (no-ops here, so append-only mechanisms run unchanged through
+    lifecycle-delivering drivers).
     """
 
     #: Human-readable mechanism name, overridden by subclasses.
     name: str = "abstract"
+
+    #: ``True`` for mechanisms that react to expire / epoch ticks by
+    #: retiring components.  Purely informational (drivers deliver the
+    #: full lifecycle to every mechanism; the shims ignore it).
+    window_aware: bool = False
 
     def __init__(self) -> None:
         self._graph = BipartiteGraph()
@@ -72,10 +131,14 @@ class OnlineMechanism(abc.ABC):
         self._object_components: Set[Vertex] = set()
         self._component_order: List[Tuple[str, Vertex]] = []
         self._decisions: List[Decision] = []
+        self._retirements: List[Retirement] = []
         self._events_seen = 0
+        self._expires_seen = 0
+        self._epoch = 0
+        self._peak_size = 0
 
     # ------------------------------------------------------------------
-    # Policy hook
+    # Policy hooks
     # ------------------------------------------------------------------
     @abc.abstractmethod
     def _choose(self, thread: Vertex, obj: Vertex) -> str:
@@ -85,8 +148,18 @@ class OnlineMechanism(abc.ABC):
         so popularity-style policies see the up-to-date degrees.
         """
 
+    def _on_observe(self, thread: Vertex, obj: Vertex) -> None:
+        """Lifecycle hook: one event was revealed (before the cover check)."""
+
+    def _on_expire(self, thread: Vertex, obj: Vertex) -> None:
+        """Lifecycle hook: one live occurrence of ``(thread, obj)`` expired."""
+
+    def _on_end_epoch(self) -> Tuple[Vertex, ...]:
+        """Lifecycle hook: an epoch boundary; returns retired components."""
+        return ()
+
     # ------------------------------------------------------------------
-    # Event stream
+    # Event stream (the lifecycle protocol)
     # ------------------------------------------------------------------
     def observe(self, thread: Vertex, obj: Vertex) -> Optional[Vertex]:
         """Reveal one event and return the component added (or ``None``).
@@ -98,6 +171,7 @@ class OnlineMechanism(abc.ABC):
         self._graph.add_edge(thread, obj)
         event_index = self._events_seen
         self._events_seen += 1
+        self._on_observe(thread, obj)
 
         if thread in self._thread_components or obj in self._object_components:
             return None
@@ -115,6 +189,8 @@ class OnlineMechanism(abc.ABC):
                 f"expected {THREAD!r} or {OBJECT!r}"
             )
         self._component_order.append((choice, component))
+        if len(self._component_order) > self._peak_size:
+            self._peak_size = len(self._component_order)
         self._decisions.append(
             Decision(
                 event_index=event_index,
@@ -125,6 +201,74 @@ class OnlineMechanism(abc.ABC):
             )
         )
         return component
+
+    def expire(self, thread: Vertex, obj: Vertex) -> None:
+        """Retract one previously revealed occurrence of ``(thread, obj)``.
+
+        Append-only mechanisms ignore expiry by design (their clocks never
+        shrink - the premise of the paper's competitive analysis); the
+        base class only counts the tick and defers to :meth:`_on_expire`.
+        Drivers must respect the stream layer's multiset contract: never
+        more expires than observes per pair.
+        """
+        self._expires_seen += 1
+        self._on_expire(thread, obj)
+
+    def end_epoch(self) -> Tuple[Vertex, ...]:
+        """Close the current epoch; returns the components retired at it.
+
+        Epoch boundaries are the only points at which a window-aware
+        mechanism may restructure its component set (retire dead
+        components, or rebuild the set from the live window); see
+        :mod:`repro.online.adaptive`.  For append-only mechanisms this is
+        a counted no-op.
+        """
+        self._epoch += 1
+        return self._on_end_epoch()
+
+    def _retire_component(self, component: Vertex) -> None:
+        """Give back one component's slot (window-aware subclasses only)."""
+        if component in self._thread_components:
+            kind = THREAD
+            self._thread_components.discard(component)
+        elif component in self._object_components:
+            kind = OBJECT
+            self._object_components.discard(component)
+        else:
+            raise OnlineMechanismError(
+                f"cannot retire {component!r}: not a current component"
+            )
+        self._component_order.remove((kind, component))
+        self._retirements.append(
+            Retirement(
+                event_index=self._events_seen,
+                epoch=self._epoch,
+                kind=kind,
+                component=component,
+            )
+        )
+
+    def _add_component(self, kind: str, component: Vertex) -> None:
+        """Adopt a component outside the per-event decision path.
+
+        Used by epoch-rebuilding mechanisms; unlike :meth:`observe` it
+        logs no :class:`Decision` (there is no triggering event).
+        """
+        if kind == THREAD:
+            if component in self._thread_components:
+                return
+            self._thread_components.add(component)
+        elif kind == OBJECT:
+            if component in self._object_components:
+                return
+            self._object_components.add(component)
+        else:
+            raise OnlineMechanismError(
+                f"component kind must be {THREAD!r} or {OBJECT!r}, got {kind!r}"
+            )
+        self._component_order.append((kind, component))
+        if len(self._component_order) > self._peak_size:
+            self._peak_size = len(self._component_order)
 
     def observe_all(self, pairs) -> "OnlineMechanism":
         """Reveal a whole sequence of ``(thread, object)`` pairs; returns ``self``."""
@@ -150,6 +294,26 @@ class OnlineMechanism(abc.ABC):
         return self._events_seen
 
     @property
+    def expires_seen(self) -> int:
+        """How many expire ticks the mechanism has been delivered."""
+        return self._expires_seen
+
+    @property
+    def epoch(self) -> int:
+        """How many epoch boundaries have passed."""
+        return self._epoch
+
+    @property
+    def peak_size(self) -> int:
+        """Largest clock size ever held (>= clock_size once retirements start)."""
+        return self._peak_size
+
+    @property
+    def retired_total(self) -> int:
+        """Total components retired over the mechanism's lifetime."""
+        return len(self._retirements)
+
+    @property
     def thread_components(self) -> frozenset:
         return frozenset(self._thread_components)
 
@@ -161,6 +325,11 @@ class OnlineMechanism(abc.ABC):
     def decisions(self) -> Tuple[Decision, ...]:
         """The full decision log, in the order components were added."""
         return tuple(self._decisions)
+
+    @property
+    def retirements(self) -> Tuple[Retirement, ...]:
+        """The full retirement log, in the order components were retired."""
+        return tuple(self._retirements)
 
     def components(self) -> ClockComponents:
         """The current component set as an immutable :class:`ClockComponents`."""
@@ -178,9 +347,13 @@ class OnlineMechanism(abc.ABC):
         return {
             "mechanism": self.name,
             "clock_size": self.clock_size,
+            "peak_size": self._peak_size,
             "thread_components": len(self._thread_components),
             "object_components": len(self._object_components),
             "events_seen": self._events_seen,
+            "expires_seen": self._expires_seen,
+            "epoch": self._epoch,
+            "retired_components": len(self._retirements),
             "revealed_edges": self._graph.num_edges,
             "revealed_density": self._graph.density(),
         }

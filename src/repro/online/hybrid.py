@@ -16,7 +16,7 @@ from typing import Optional
 
 from repro.exceptions import OnlineMechanismError
 from repro.graph.bipartite import Vertex
-from repro.online.base import OBJECT, THREAD, OnlineMechanism
+from repro.online.base import OBJECT, THREAD, OnlineMechanism, popularity_choice
 
 
 class HybridMechanism(OnlineMechanism):
@@ -105,10 +105,4 @@ class HybridMechanism(OnlineMechanism):
             self._switched_at = self.events_seen - 1
         if self._switched_at is not None:
             return self._naive_side
-        thread_popularity = self.revealed_graph.popularity(thread)
-        object_popularity = self.revealed_graph.popularity(obj)
-        if thread_popularity > object_popularity:
-            return THREAD
-        if object_popularity > thread_popularity:
-            return OBJECT
-        return THREAD
+        return popularity_choice(self.revealed_graph, thread, obj, THREAD)

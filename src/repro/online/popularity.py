@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from repro.exceptions import OnlineMechanismError
 from repro.graph.bipartite import Vertex
-from repro.online.base import OBJECT, THREAD, OnlineMechanism
+from repro.online.base import OBJECT, THREAD, OnlineMechanism, popularity_choice
 
 
 class PopularityMechanism(OnlineMechanism):
@@ -46,10 +46,4 @@ class PopularityMechanism(OnlineMechanism):
 
     def _choose(self, thread: Vertex, obj: Vertex) -> str:
         # observe() already added the edge, so both vertices exist and |E| > 0.
-        thread_popularity = self.revealed_graph.popularity(thread)
-        object_popularity = self.revealed_graph.popularity(obj)
-        if thread_popularity > object_popularity:
-            return THREAD
-        if object_popularity > thread_popularity:
-            return OBJECT
-        return self._tie_break
+        return popularity_choice(self.revealed_graph, thread, obj, self._tie_break)

@@ -23,9 +23,14 @@ workloads run in one pass.
   :class:`~repro.graph.incremental.DynamicMatching` engine over one lazy
   event stream (optionally imposing a sliding window), recording one
   clock-size sample per *insert* so all trajectories stay aligned.
-  Mechanisms ignore expire events (an online clock never shrinks - that
-  is the whole point of the competitive analysis); the offline optimum
-  consumes them, so with a window its trajectory can dip back down.
+  The full lifecycle is delivered to every mechanism: expire events
+  reach :meth:`~repro.online.base.OnlineMechanism.expire` (a no-op shim
+  for the paper's append-only mechanisms, a retirement opportunity for
+  the adaptive ones) and epoch boundaries - explicit markers in the
+  stream, or counter-based ticks via the ``epoch`` parameter - reach
+  :meth:`~repro.online.base.OnlineMechanism.end_epoch`.  The offline
+  optimum consumes inserts and expires, so with a window its trajectory
+  can dip back down - and so, now, can a window-aware mechanism's.
 * :func:`compare_mechanisms` keeps the classic graph-input surface of
   Figs. 4-7 and now simply routes a reveal order through the stream core.
   The ``"offline"`` entry is a true per-event optimum trajectory: the
@@ -41,6 +46,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.computation.streams import EventLike, as_stream_event, sliding_window
+from repro.exceptions import ComputationError
 from repro.computation.trace import Computation
 from repro.graph.bipartite import BipartiteGraph, Vertex
 from repro.graph.generators import SeedLike, _rng
@@ -82,8 +88,13 @@ class OnlineRunResult:
 
     ``size_trajectory[i]`` is the clock size after the ``i``-th revealed
     *insert* event (so the final clock size is ``size_trajectory[-1]``,
-    also exposed as :attr:`final_size`).  Expire events do not add
-    samples; they only affect what the offline optimum's next sample sees.
+    also exposed as :attr:`final_size`).  Expire events and epoch
+    boundaries do not add samples - their effect (a window-aware
+    mechanism retiring components, the optimum shrinking) shows up in
+    the next insert's sample - but they are counted in
+    :attr:`expires_seen` / :attr:`epochs`, and :attr:`retired_components`
+    totals the mechanism's retirements over the run (0 for the
+    append-only mechanisms, by construction).
     """
 
     mechanism_name: str
@@ -92,6 +103,10 @@ class OnlineRunResult:
     thread_components: int
     object_components: int
     events_revealed: int
+    expires_seen: int = 0
+    epochs: int = 0
+    retired_components: int = 0
+    peak_size: int = 0
 
     @property
     def sizes(self) -> Tuple[int, ...]:
@@ -181,24 +196,31 @@ def compare_mechanisms_on_stream(
     factories: Dict[str, MechanismFactory],
     include_offline: bool = True,
     window: Optional[int] = None,
+    epoch: Optional[int] = None,
 ) -> Dict[str, OnlineRunResult]:
     """Run several mechanisms and the dynamic optimum over one event stream.
 
     The stream is consumed exactly once, one event at a time; bare
     ``(thread, object)`` pairs are accepted and treated as inserts.  On
     each insert every mechanism observes the pair and every consumer
-    records one trajectory sample; on each expire only the
-    :class:`~repro.graph.incremental.DynamicMatching` engine reacts
-    (online clocks never shrink).  With ``window`` set, the insert-only
-    input is wrapped in :func:`~repro.computation.streams.sliding_window`
-    first; streams that emit their own expire events must pass
-    ``window=None``.
+    records one trajectory sample; on each expire every mechanism's
+    :meth:`~repro.online.base.OnlineMechanism.expire` fires (the no-op
+    shim for append-only mechanisms) and the
+    :class:`~repro.graph.incremental.DynamicMatching` engine retracts the
+    edge.  Epoch boundaries - explicit markers in the stream, plus a tick
+    after every ``epoch`` inserts when the parameter is set - deliver
+    :meth:`~repro.online.base.OnlineMechanism.end_epoch` to every
+    mechanism.  With ``window`` set, the insert-only input is wrapped in
+    :func:`~repro.computation.streams.sliding_window` first; streams that
+    emit their own expire events must pass ``window=None``.
 
     Returns one :class:`OnlineRunResult` per factory label, plus an
     ``"offline"`` entry when ``include_offline`` is true whose trajectory
     is the per-insert minimum-vertex-cover size of the *live* (windowed /
     non-expired) graph.
     """
+    if epoch is not None and epoch < 1:
+        raise ComputationError(f"epoch must be >= 1, got {epoch}")
     if window is not None:
         events = sliding_window(events, window)
     mechanisms = {label: factory() for label, factory in factories.items()}
@@ -209,9 +231,15 @@ def compare_mechanisms_on_stream(
     engine = DynamicMatching(record_trajectory=False) if include_offline else None
     offline_sizes: List[int] = []
     inserts = 0
+    expires = 0
+    epochs = 0
     for item in events:
         event = as_stream_event(item)
-        if event.is_insert:
+        if event.is_epoch:
+            epochs += 1
+            for mechanism in mechanisms.values():
+                mechanism.end_epoch()
+        elif event.is_insert:
             inserts += 1
             for label, mechanism in mechanisms.items():
                 mechanism.observe(event.thread, event.obj)
@@ -219,8 +247,16 @@ def compare_mechanisms_on_stream(
             if engine is not None:
                 engine.add_edge(event.thread, event.obj)
                 offline_sizes.append(engine.size)
-        elif engine is not None:
-            engine.remove_edge(event.thread, event.obj)
+            if epoch is not None and inserts % epoch == 0:
+                epochs += 1
+                for mechanism in mechanisms.values():
+                    mechanism.end_epoch()
+        else:
+            expires += 1
+            for mechanism in mechanisms.values():
+                mechanism.expire(event.thread, event.obj)
+            if engine is not None:
+                engine.remove_edge(event.thread, event.obj)
     results: Dict[str, OnlineRunResult] = {}
     for label, mechanism in mechanisms.items():
         results[label] = OnlineRunResult(
@@ -230,6 +266,10 @@ def compare_mechanisms_on_stream(
             thread_components=len(mechanism.thread_components),
             object_components=len(mechanism.object_components),
             events_revealed=mechanism.events_seen,
+            expires_seen=mechanism.expires_seen,
+            epochs=mechanism.epoch,
+            retired_components=mechanism.retired_total,
+            peak_size=mechanism.peak_size,
         )
     if engine is not None:
         results[OFFLINE_LABEL] = OnlineRunResult(
@@ -239,6 +279,8 @@ def compare_mechanisms_on_stream(
             thread_components=-1,
             object_components=-1,
             events_revealed=inserts,
+            expires_seen=expires,
+            epochs=epochs,
         )
     return results
 

@@ -1,0 +1,188 @@
+"""The epoch-rotating clock kernel and the lifecycle-aware EpochClock.
+
+Covers the three new kernel capabilities - append-only component growth
+(``extend_components``), epoch rotation with slot compaction
+(``rotate_epoch``), and the re-timestamping invariant check - plus the
+EpochClock ledger semantics (FIFO expiry per pair, stable tokens across
+rotations, causality queries on live events).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ClockComponents, ClockKernel, EpochClock, Timestamp, ordering
+from repro.core.timestamping import verify_retimestamping
+from repro.exceptions import ClockError, ComponentError, RetimestampingError
+
+
+class TestKernelExtension:
+    def test_extension_appends_zero_slots(self):
+        kernel = ClockKernel(ClockComponents(thread_components=["T1"]))
+        first = kernel.observe("T1", "O1")
+        assert first.values == (1,)
+        kernel.extend_components(object_components=["O2"])
+        assert kernel.components.size == 2
+        # The pre-extension clock is re-based: old value kept, new slot zero.
+        assert kernel.thread_stamp("T1").values == (1, 0)
+        second = kernel.observe("T1", "O2")
+        assert second.values == (2, 1)
+
+    def test_extension_matches_from_scratch_when_new_component_was_unused(self):
+        """Extending before a component's first event == having it all along."""
+        events = [("T1", "O1"), ("T1", "O2"), ("T2", "O2")]
+        later = [("T2", "O3"), ("T1", "O3")]
+        grown = ClockKernel(ClockComponents(thread_components=["T1", "T2"]))
+        for thread, obj in events:
+            grown.observe(thread, obj)
+        grown.extend_components(object_components=["O3"])
+        fresh = ClockKernel(
+            ClockComponents(thread_components=["T1", "T2"], object_components=["O3"])
+        )
+        for thread, obj in events:
+            fresh.observe(thread, obj)
+        grown_tail = [grown.observe(t, o) for t, o in later]
+        fresh_tail = [fresh.observe(t, o) for t, o in later]
+        for grown_stamp, fresh_stamp in zip(grown_tail, fresh_tail):
+            assert grown_stamp.as_dict() == fresh_stamp.as_dict()
+
+    def test_extension_is_noop_for_known_components(self):
+        kernel = ClockKernel(ClockComponents(thread_components=["T1"]))
+        components = kernel.components
+        assert kernel.extend_components(thread_components=["T1"]) is components
+
+    def test_thread_slots_precede_object_slots_after_extension(self):
+        kernel = ClockKernel(ClockComponents(object_components=["O1"]))
+        kernel.observe("T1", "O1")
+        kernel.extend_components(thread_components=["T2"])
+        # Convention: threads first; O1's old value must follow T2's zero.
+        assert kernel.components.ordered == ("T2", "O1")
+        assert kernel.object_stamp("O1").values == (0, 1)
+
+
+class TestKernelRotation:
+    def test_rotation_counts_retirements_and_resets_state(self):
+        kernel = ClockKernel(
+            ClockComponents(thread_components=["T1", "T2"], object_components=["O1"])
+        )
+        kernel.observe("T1", "O1")
+        retired = kernel.rotate_epoch(ClockComponents(thread_components=["T1"]))
+        assert retired == 2  # T2 and O1
+        assert kernel.epoch == 1
+        assert kernel.retired_total == 2
+        assert kernel.components.size == 1
+        # All clock state is discarded; the caller replays the live window.
+        assert kernel.thread_stamp("T1").values == (0,)
+
+    def test_rotation_to_superset_retires_nothing(self):
+        kernel = ClockKernel(ClockComponents(thread_components=["T1"]))
+        retired = kernel.rotate_epoch(
+            ClockComponents(thread_components=["T1", "T2"])
+        )
+        assert retired == 0
+        assert kernel.retired_total == 0
+        assert kernel.epoch == 1
+
+
+class TestVerifyRetimestamping:
+    def test_accepts_identical_verdicts(self):
+        components = ClockComponents(thread_components=["T1", "T2"])
+        a1 = Timestamp(components, [1, 0])
+        b1 = Timestamp(components, [0, 1])
+        verify_retimestamping([a1, b1], [a1, b1], components)
+
+    def test_rejects_length_mismatch(self):
+        components = ClockComponents(thread_components=["T1"])
+        stamp = Timestamp(components, [1])
+        with pytest.raises(RetimestampingError):
+            verify_retimestamping([stamp, stamp], [stamp], components)
+
+    def test_rejects_foreign_component_set(self):
+        components = ClockComponents(thread_components=["T1"])
+        other = ClockComponents(thread_components=["T1"])
+        stamp = Timestamp(other, [1])
+        with pytest.raises(RetimestampingError):
+            verify_retimestamping([stamp], [stamp], components)
+
+    def test_rejects_verdict_flip(self):
+        before_components = ClockComponents(thread_components=["T1", "T2"])
+        concurrent_a = Timestamp(before_components, [1, 0])
+        concurrent_b = Timestamp(before_components, [0, 1])
+        after_components = ClockComponents(thread_components=["T1"])
+        ordered_a = Timestamp(after_components, [1])
+        ordered_b = Timestamp(after_components, [2])
+        assert ordering(concurrent_a, concurrent_b) == "concurrent"
+        with pytest.raises(RetimestampingError):
+            verify_retimestamping(
+                [concurrent_a, concurrent_b],
+                [ordered_a, ordered_b],
+                after_components,
+            )
+
+
+class TestEpochClock:
+    def test_observe_requires_coverage(self):
+        clock = EpochClock()
+        with pytest.raises(ComponentError):
+            clock.observe("T1", "O1")
+
+    def test_tokens_are_stable_across_rotation(self):
+        clock = EpochClock(
+            ClockComponents(thread_components=["T1", "T2"]), check_invariant=True
+        )
+        first = clock.observe("T1", "O1")
+        second = clock.observe("T2", "O2")
+        third = clock.observe("T1", "O2")
+        assert clock.relation(first, third) == "before"  # same thread
+        assert clock.relation(second, third) == "before"  # same object
+        assert clock.relation(first, second) == "concurrent"
+        clock.expire("T1", "O1")
+        retired = clock.rotate(
+            ClockComponents(thread_components=["T1", "T2"], object_components=["O2"])
+        )
+        assert retired == 0
+        assert clock.live_tokens() == (second, third)
+        assert clock.relation(second, third) == "before"
+        with pytest.raises(ClockError):
+            clock.timestamp(first)
+
+    def test_expire_is_fifo_per_pair(self):
+        clock = EpochClock(ClockComponents(thread_components=["T1"]))
+        first = clock.observe("T1", "O1")
+        second = clock.observe("T1", "O1")
+        assert clock.expire("T1", "O1") == first
+        assert clock.expire("T1", "O1") == second
+        with pytest.raises(ClockError):
+            clock.expire("T1", "O1")
+
+    def test_rotation_compacts_retired_slots(self):
+        clock = EpochClock(
+            ClockComponents(thread_components=["T1", "T2"]), check_invariant=True
+        )
+        token = clock.observe("T1", "O1")
+        clock.observe("T2", "O2")
+        clock.expire("T2", "O2")
+        retired = clock.rotate(ClockComponents(thread_components=["T1"]))
+        assert retired == 1
+        assert clock.size == 1
+        assert clock.retired_total == 1
+        assert clock.epoch == 1
+        # The surviving event's stamp lives in the compacted basis.
+        assert clock.timestamp(token).components.size == 1
+
+    def test_rotation_without_coverage_raises(self):
+        clock = EpochClock(ClockComponents(thread_components=["T1"]))
+        clock.observe("T1", "O1")
+        with pytest.raises(ComponentError):
+            clock.rotate(ClockComponents(thread_components=["T9"]))
+
+    def test_extension_preserves_live_verdicts(self):
+        clock = EpochClock(ClockComponents(thread_components=["T1", "T2"]))
+        a = clock.observe("T1", "O1")
+        b = clock.observe("T2", "O1")
+        before = clock.relation(a, b)
+        clock.extend(object_components=("O1",))
+        assert clock.size == 3
+        assert clock.relation(a, b) == before
+        c = clock.observe("T3", "O1")  # covered by the new object component
+        assert clock.relation(b, c) == "before"
