@@ -13,10 +13,21 @@ statistically meaningful.  CI runs the suite this way to catch perf
 harness breakage (import errors, fixture drift, API changes) without
 paying for the real sweeps.  The flag is read at import time because the
 sweep constants parametrise tests during collection.
+
+Machine-readable results
+------------------------
+Every benchmark that measures a rate or a ratio also records it as JSON
+via :func:`write_json_result`, which writes ``BENCH_<name>.json`` next to
+the text tables under ``benchmarks/results`` - or under the directory
+given by ``--json PATH`` (or the ``BENCH_JSON`` environment variable),
+so CI can archive the perf trajectory as artifacts.  Each file carries
+the payload plus ``{"benchmark": name, "smoke": bool}`` so a collector
+can tell throwaway smoke numbers from real ones.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import sys
 from pathlib import Path
@@ -25,6 +36,27 @@ RESULTS_DIR = Path(__file__).parent / "results"
 
 #: True when the harness should run a fast smoke pass (see module docstring).
 SMOKE = "--smoke" in sys.argv or os.environ.get("BENCH_SMOKE", "") == "1"
+
+
+def _json_dir() -> Path:
+    """Where ``BENCH_<name>.json`` files go (see module docstring).
+
+    Read at import time like ``SMOKE``: benchmarks write results during
+    the test run, and the destination must not depend on pytest's
+    argument plumbing.
+    """
+    for index, argument in enumerate(sys.argv):
+        if argument == "--json" and index + 1 < len(sys.argv):
+            return Path(sys.argv[index + 1])
+        if argument.startswith("--json="):
+            return Path(argument.split("=", 1)[1])
+    env = os.environ.get("BENCH_JSON", "").strip()
+    if env:
+        return Path(env)
+    return RESULTS_DIR
+
+
+JSON_DIR = _json_dir()
 
 if SMOKE:
     FIG4_DENSITIES = [0.01, 0.05, 0.5]
@@ -47,6 +79,11 @@ if SMOKE:
     ENGINE_CHUNK = 500
     ENGINE_JOBS = [1, 2]
     ENGINE_NODES = 40
+    PIPELINE_EVENTS = 100_000
+    PIPELINE_NODES = 150
+    PIPELINE_CHUNK = 25_000
+    PIPELINE_MATRIX_EVENTS = 2_000
+    PIPELINE_MATRIX_JOBS = [1, 2]
 else:
     #: Densities swept in Figs. 4 and 6.
     FIG4_DENSITIES = [0.01, 0.02, 0.05, 0.10, 0.15, 0.20, 0.30, 0.40, 0.50]
@@ -92,6 +129,18 @@ else:
     ENGINE_JOBS = [1, 2, 4, 8]
     #: Threads/objects per side of the engine-scaling stream.
     ENGINE_NODES = 200
+    #: Insert events in the batched-pipeline head-to-head (the ROADMAP's
+    #: 1M+ target; expires ride on top, roughly doubling the stream).
+    PIPELINE_EVENTS = 1_200_000
+    #: Threads/objects per side of the pipeline stream (sets the clock
+    #: dimension the timestamping stage pays per event).
+    PIPELINE_NODES = 200
+    #: Inserts per chunk in the pipeline head-to-head.
+    PIPELINE_CHUNK = 100_000
+    #: Events of each run in the fingerprint equality matrix.
+    PIPELINE_MATRIX_EVENTS = 4_000
+    #: Worker counts crossed into the fingerprint matrix.
+    PIPELINE_MATRIX_JOBS = [1, 4]
 
 #: Nodes per side in the density sweeps (the paper uses 50 threads / 50 objects).
 FIG4_NODES = 50
@@ -105,4 +154,19 @@ def write_result(name: str, text: str) -> Path:
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text + "\n")
     print(f"\n=== {name} ===\n{text}\n(written to {path})")
+    return path
+
+
+def write_json_result(name: str, payload: dict) -> Path:
+    """Persist one benchmark's numbers as ``BENCH_<name>.json``.
+
+    ``payload`` should hold plain JSON-safe scalars/lists/dicts
+    (events/sec, ratios, parameter values); the envelope adds the
+    benchmark name and whether this was a smoke (throwaway-scale) run.
+    """
+    JSON_DIR.mkdir(parents=True, exist_ok=True)
+    path = JSON_DIR / f"BENCH_{name}.json"
+    document = {"benchmark": name, "smoke": SMOKE, **payload}
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    print(f"(json results written to {path})")
     return path

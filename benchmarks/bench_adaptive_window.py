@@ -83,7 +83,7 @@ def _steady_mean(results, label):
 
 
 @pytest.mark.benchmark(group="adaptive-window")
-def test_adaptive_vs_append_only_on_churn(benchmark, record_table):
+def test_adaptive_vs_append_only_on_churn(benchmark, record_table, record_json):
     """The acceptance head-to-head on the thread-churn stream."""
     results = benchmark.pedantic(
         lambda: _run_scenario("thread-churn", "churn"), rounds=1, iterations=1
@@ -127,6 +127,30 @@ def test_adaptive_vs_append_only_on_churn(benchmark, record_table):
         f"{sum(offline_tail) / len(offline_tail):.1f}"
     )
     record_table("adaptive_window_churn", "\n".join(lines))
+    record_json(
+        "adaptive_window_churn",
+        {
+            "scenario": "thread-churn",
+            "inserts": ADAPTIVE_EVENTS,
+            "epoch_every": ADAPTIVE_EPOCH,
+            "steady_ratio": {
+                label: _steady_mean(results, label)
+                for pairing in PAIRINGS
+                for label in pairing
+            },
+            "final_size": {
+                label: results[label].final_size
+                for pairing in PAIRINGS
+                for label in pairing
+            },
+            "retired": {
+                label: results[label].retired_components
+                for pairing in PAIRINGS
+                for label in pairing
+            },
+            "offline_steady_size": sum(offline_tail) / len(offline_tail),
+        },
+    )
 
 
 @pytest.mark.benchmark(group="adaptive-window")

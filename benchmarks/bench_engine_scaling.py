@@ -50,7 +50,7 @@ CONFIG = EngineConfig(
 
 
 @pytest.mark.benchmark(group="engine-scaling")
-def test_engine_scaling_events_per_second(benchmark, record_table):
+def test_engine_scaling_events_per_second(benchmark, record_table, record_json):
     def run_all():
         runs = []
         for jobs in ENGINE_JOBS:
@@ -95,3 +95,21 @@ def test_engine_scaling_events_per_second(benchmark, record_table):
             f"{serial_elapsed / elapsed if elapsed else float('inf'):>6.2f}x"
         )
     record_table("engine_scaling", "\n".join(lines))
+    record_json(
+        "engine_scaling",
+        {
+            "scenario": "thread-churn",
+            "inserts": ENGINE_EVENTS,
+            "total_events": total_events,
+            "shards": ENGINE_SHARDS,
+            "events_per_second": {
+                str(jobs): (total_events / elapsed if elapsed else None)
+                for jobs, elapsed, _ in runs
+            },
+            "speedup_vs_serial": {
+                str(jobs): (serial_elapsed / elapsed if elapsed else None)
+                for jobs, elapsed, _ in runs
+            },
+            "fingerprint": reference.fingerprint(),
+        },
+    )

@@ -6,9 +6,15 @@ the thread-based clock, the object-based clock and the optimal mixed clock,
 measuring (a) wall-clock cost per full-trace timestamping pass and (b) the
 storage cost (integers kept across all event timestamps), which scales
 linearly with the clock dimension the paper minimises.
+The batched entry point (``ClockKernel.timestamp_batch``) is measured
+against the per-event loop on the same trace for every available kernel
+backend, asserting stamp bit-identity while the rates are collected.
 """
 
 from __future__ import annotations
+
+import gc
+import time
 
 import pytest
 
@@ -19,6 +25,8 @@ from repro.computation import (
     work_stealing_trace,
 )
 from repro.core import timestamp_with_object_clock, timestamp_with_thread_clock
+from repro.core.components import ClockComponents
+from repro.core.kernel import ClockKernel, available_backends
 from repro.offline import optimal_components_for_computation, timestamp_offline
 
 from _common import write_result
@@ -76,3 +84,77 @@ def test_record_storage_overhead(benchmark, record_table):
             row["thread_clock_ints"], row["object_clock_ints"]
         )
     record_table("timestamping_storage_overhead", format_table(rows))
+
+
+@pytest.mark.benchmark(group="timestamping-overhead")
+def test_kernel_batch_vs_per_event(benchmark, record_table, record_json):
+    """`timestamp_batch` vs per-event `observe`, per backend, bit-identical.
+
+    Uses a wide work-stealing trace (256 thread components): the batch
+    paths exist for the large-clock regime the paper targets - at a
+    dozen slots the per-event loop is already allocation-bound and no
+    batching can help, which is also why the numpy backend gates itself
+    on clock dimension.  No speedup is asserted here (micro-timings on
+    shared CI cores are noise); the identity of every minted stamp is.
+    """
+    trace = work_stealing_trace(num_workers=256, tasks_per_worker=30, seed=61)
+    pairs = [(event.thread, event.obj) for event in trace] * 3
+    components = ClockComponents.all_threads(sorted(trace.threads))
+
+    def run_all():
+        # Each variant is timed in a clean GC state and its stamps are
+        # reduced to bare value tuples before the next variant runs -
+        # otherwise every variant pays collector passes over all of its
+        # predecessors' retained Timestamp objects and the comparison
+        # degrades monotonically with position.
+        runs = {}
+        variants = [("per-event", None)] + [
+            (f"batch-{backend}", backend) for backend in available_backends()
+        ]
+        for variant, backend in variants:
+            best = None
+            values = None
+            for _ in range(3):  # best-of-3: scheduler noise dwarfs 0.2s runs
+                kernel = ClockKernel(components, backend=backend)
+                gc.collect()
+                if backend is None:
+                    observe = kernel.observe
+                    start = time.perf_counter()
+                    stamps = [observe(thread, obj) for thread, obj in pairs]
+                else:
+                    start = time.perf_counter()
+                    stamps = kernel.timestamp_batch(pairs)
+                elapsed = time.perf_counter() - start
+                if best is None or elapsed < best:
+                    best = elapsed
+                    values = [stamp.values for stamp in stamps]
+                del stamps
+            runs[variant] = (best, values)
+        return runs
+
+    runs = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    reference = runs["per-event"][1]
+    for variant, (_, values) in runs.items():
+        assert values == reference, f"{variant} minted different timestamps"
+    per_event_rate = len(pairs) / runs["per-event"][0]
+    rates = {variant: len(pairs) / elapsed for variant, (elapsed, _) in runs.items()}
+    lines = [
+        f"work-stealing x3 ({len(pairs)} events, clock size {components.size})",
+        f"{'variant':>16}  {'events/s':>10}  {'speedup':>7}",
+    ]
+    for variant, rate in rates.items():
+        lines.append(
+            f"{variant:>16}  {rate:>10,.0f}  {rate / per_event_rate:>6.2f}x"
+        )
+    record_table("kernel_batch_timestamping", "\n".join(lines))
+    record_json(
+        "kernel_batch_timestamping",
+        {
+            "events": len(pairs),
+            "clock_size": components.size,
+            "events_per_second": rates,
+            "speedup_vs_per_event": {
+                variant: rate / per_event_rate for variant, rate in rates.items()
+            },
+        },
+    )

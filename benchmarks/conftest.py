@@ -23,7 +23,7 @@ import pytest
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from _common import write_result  # noqa: E402
+from _common import write_json_result, write_result  # noqa: E402
 
 
 def pytest_addoption(parser):
@@ -39,9 +39,22 @@ def pytest_addoption(parser):
         default=False,
         help="run shrunken benchmark sweeps (harness smoke test)",
     )
+    parser.addoption(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="directory for machine-readable BENCH_<name>.json results "
+        "(default: benchmarks/results; read by _common.py at import time)",
+    )
 
 
 @pytest.fixture
 def record_table():
     """Fixture handing benchmarks the :func:`_common.write_result` helper."""
     return write_result
+
+
+@pytest.fixture
+def record_json():
+    """Fixture handing benchmarks the :func:`_common.write_json_result` helper."""
+    return write_json_result

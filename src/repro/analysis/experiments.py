@@ -62,6 +62,13 @@ EXTENDED_MECHANISMS: Dict[str, MechanismFactory] = {
     **PAPER_MECHANISMS,
     "hybrid": lambda seed: HybridMechanism(),
     "adaptive-popularity": lambda seed: WindowedPopularityMechanism(),
+    # The flagged windowed-degree variant (default-off in the class): the
+    # per-event choice reads live-window degree counters instead of the
+    # append-only revealed graph, so popularity under drift tracks the
+    # live regime instead of chasing dead history.
+    "adaptive-popularity-windowed": lambda seed: WindowedPopularityMechanism(
+        windowed_degrees=True
+    ),
     "epoch-hybrid": lambda seed: EpochRotatingHybridMechanism(),
 }
 

@@ -59,6 +59,11 @@ from repro.analysis.metrics import (
 )
 from repro.analysis.report import format_table
 from repro.computation.registry import REGISTRY, STREAM, Scenario
+from repro.core.kernel import (
+    default_backend_override,
+    resolve_backend,
+    set_default_backend,
+)
 from repro.exceptions import ExperimentError, ScenarioError
 from repro.online.simulator import (
     OFFLINE_LABEL,
@@ -123,6 +128,8 @@ class _TrialTask:
     num_events: int
     base_seed: int
     epoch: Optional[int] = None
+    batch_size: Optional[int] = None
+    backend: Optional[str] = None
 
 
 #: Per-label outcome of one trial: burn-in ratios, steady ratios, steady
@@ -145,6 +152,27 @@ def _trial_samples(
         if mechanisms is not None
         else {label: EXTENDED_MECHANISMS[label] for label in task.labels}
     )
+    if task.backend is not None:
+        # Pin the kernel backend for the duration of the trial: the
+        # sweep's cells mint no dense timestamps themselves (a ratio is
+        # a size quotient), but any kernel a mechanism or driver
+        # constructs during the trial batches through the selected
+        # backend.  Verdict bit-identity across backends means this can
+        # never change a sweep number.  The prior override is restored
+        # afterwards, so in-process (jobs=1) sweeps do not leak the
+        # selection into the caller's process.
+        previous = default_backend_override()
+        set_default_backend(task.backend)
+        try:
+            return _trial_samples_inner(task, chosen)
+        finally:
+            set_default_backend(previous)
+    return _trial_samples_inner(task, chosen)
+
+
+def _trial_samples_inner(
+    task: _TrialTask, chosen: Mapping[str, MechanismFactory]
+) -> _TrialSamples:
     scenario = REGISTRY.get(task.scenario, kind=STREAM)
     trial_root = derive_seed(
         task.base_seed, task.scenario, task.density, task.size, task.trial
@@ -165,6 +193,7 @@ def _trial_samples(
         include_offline=True,
         window=None if scenario.expires else task.window,
         epoch=task.epoch,
+        batch_size=task.batch_size,
     )
     offline_sizes = results[OFFLINE_LABEL].size_trajectory
     samples: _TrialSamples = {}
@@ -203,6 +232,8 @@ def ratio_sweep(
     jobs: int = 1,
     epoch: Optional[int] = None,
     labels: Optional[Sequence[str]] = None,
+    batch_size: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> RatioSweepResult:
     """Sweep burn-in / steady-state competitive ratios over a stream grid.
 
@@ -244,6 +275,15 @@ def ratio_sweep(
         Deliver an epoch tick to every mechanism after this many inserts
         (on top of any markers the stream emits).  ``None`` leaves only
         the stream's own markers.
+    batch_size:
+        Consume each trial's stream through the chunked pipeline
+        (``observe_batch`` on runs of up to this many inserts) instead of
+        per-event calls.  Bit-identical results; wall-clock only.
+    backend:
+        Kernel backend name pinned in every worker for the duration of
+        its trials (``python`` / ``numpy``; ``None`` keeps the process
+        default).  Validated up front, so a ``numpy`` request without
+        numpy fails here rather than inside a worker.
     """
     if mechanisms is not None and labels is not None:
         raise ExperimentError("pass either mechanisms or labels, not both")
@@ -267,6 +307,13 @@ def ratio_sweep(
         raise ExperimentError("burn_in and tail must be >= 1")
     if epoch is not None and epoch < 1:
         raise ExperimentError("epoch must be >= 1")
+    if batch_size is not None and batch_size < 1:
+        raise ExperimentError("batch_size must be >= 1")
+    if backend is not None:
+        try:
+            resolve_backend(backend)
+        except Exception as error:
+            raise ExperimentError(str(error)) from None
     if not densities or not sizes:
         raise ExperimentError("densities and sizes must not be empty")
     if jobs > 1 and mechanisms is not None:
@@ -313,6 +360,8 @@ def ratio_sweep(
             num_events=events_per_trial,
             base_seed=base_seed,
             epoch=epoch,
+            batch_size=batch_size,
+            backend=backend,
         )
         for scenario, density, size in grid
         for trial in range(trials)

@@ -49,8 +49,15 @@ from repro.analysis import (
 from repro.computation import GRAPH, HappenedBefore, REGISTRY, STREAM, TRACE
 from repro.computation.serialization import dump_computation, load_computation
 from repro.computation.workloads import paper_example_trace
+from repro.core.kernel import NUMPY_BACKEND, PYTHON_BACKEND
 from repro.engine import EngineConfig, run_engine
+from repro.engine.runner import PIPELINES as ENGINE_PIPELINES
 from repro.engine.sharding import STRATEGIES as ENGINE_STRATEGIES
+
+#: Kernel backend choices offered by the CLI.  Both names are always
+#: *offered* (so help text is stable); selecting ``numpy`` without numpy
+#: installed fails with a clean gate error from the kernel layer.
+KERNEL_BACKENDS = (PYTHON_BACKEND, NUMPY_BACKEND)
 from repro.exceptions import ReproError
 from repro.offline import optimal_components_for_computation
 
@@ -159,6 +166,20 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep (e.g. popularity,adaptive-popularity); default: the "
         "paper's three",
     )
+    sweep.add_argument(
+        "--batch", type=int, default=None, dest="batch_size", metavar="N",
+        help="consume each ratio-sweep trial through the chunked pipeline "
+        "(observe_batch on runs of up to N inserts); results are identical "
+        "to the per-event default",
+    )
+    sweep.add_argument(
+        "--backend", choices=list(KERNEL_BACKENDS), default=None,
+        help="kernel backend pinned (and restored after) in every "
+        "ratio-sweep worker; validated up front.  The standard sweep mints "
+        "no dense timestamps, so today this only affects custom mechanisms "
+        "that build ClockKernels during a trial (numpy stays optional and "
+        "gated; results are identical for every choice)",
+    )
 
     engine = subparsers.add_parser(
         "engine",
@@ -239,6 +260,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-offline", action="store_true", dest="no_offline",
         help="skip the dynamic offline optimum (mechanisms only)",
     )
+    engine_run.add_argument(
+        "--pipeline", choices=list(ENGINE_PIPELINES), default="batched",
+        help="event execution pipeline: chunked observe_batch runs "
+        "(default) or the classic per-event loop; the fingerprint is "
+        "identical for both",
+    )
+    engine_run.add_argument(
+        "--backend", choices=list(KERNEL_BACKENDS), default=None,
+        help="kernel backend for the timestamping stage (numpy is gated "
+        "on being importable; stamps are bit-identical across backends)",
+    )
+    engine_run.add_argument(
+        "--timestamps", action="store_true",
+        help="mint real per-event timestamps per mechanism and carry a "
+        "per-label stamp digest under the fingerprint (append-only "
+        "mechanisms only)",
+    )
     engine_inspect = engine_sub.add_parser(
         "inspect",
         help="summarise a checkpoint directory's manifest and shard progress",
@@ -253,6 +291,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     engine_clean.add_argument(
         "checkpoint_dir", help="directory written by 'engine run --checkpoint-dir'"
+    )
+    engine_clean.add_argument(
+        "--max-age", type=float, default=None, dest="max_age", metavar="SECONDS",
+        help="additionally prune referenced shard checkpoints older than "
+        "this many seconds (safe: a pruned shard is simply recomputed on "
+        "the next resume)",
     )
     return parser
 
@@ -340,6 +384,9 @@ def _cmd_engine(args: argparse.Namespace) -> int:
         strategy=args.strategy,
         checkpoint_dir=args.checkpoint_dir,
         trajectory_stride=args.stride,
+        pipeline=args.pipeline,
+        backend=args.backend,
+        timestamps=args.timestamps,
     )
     started = time.perf_counter()
     result = run_engine(config, jobs=args.jobs)
@@ -407,11 +454,14 @@ def _cmd_engine_clean(args: argparse.Namespace) -> int:
     from repro.engine import EngineCheckpointManager
 
     manager = EngineCheckpointManager.open(args.checkpoint_dir)
-    removed = manager.prune()
+    removed = manager.prune(max_age=args.max_age)
     if removed:
         for path in removed:
             print(f"removed {path}")
-    print(f"pruned {len(removed)} unreferenced file(s) from {manager.directory}")
+    what = (
+        "unreferenced/stale" if args.max_age is not None else "unreferenced"
+    )
+    print(f"pruned {len(removed)} {what} file(s) from {manager.directory}")
     return 0
 
 
@@ -437,6 +487,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             epoch=args.epoch,
             labels=labels,
+            batch_size=args.batch_size,
+            backend=args.backend,
         )
         print(format_ratio_sweep(result))
         return 0

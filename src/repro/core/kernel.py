@@ -31,16 +31,78 @@ in the new epoch's basis).  Timestamps minted in an epoch reference only
 that epoch's components; :class:`~repro.core.timestamping.EpochClock`
 wraps the replay and proves verdict preservation with the
 re-timestamping invariant check.
+
+Backends
+--------
+Per-event :meth:`ClockKernel.observe` pays Python-interpreter overhead
+per event no matter how lean the update rule is, so the kernel also has
+*batch* entry points - :meth:`ClockKernel.timestamp_batch` (mint one
+timestamp per event) and :meth:`ClockKernel.advance_batch` (advance the
+clocks and fold a digest, minting nothing) - whose inner loop is
+supplied by a pluggable :class:`KernelBackend`:
+
+* ``python`` (:class:`PythonKernelBackend`, always available) - the
+  batch loop keeps the working clock vectors as plain lists and applies
+  *slot-delta* derivation on the hot path: whenever one operand of the
+  merge is absent or the two endpoints already share one stamp, the new
+  vector is a C-speed copy of the previous one with the one or two
+  incremented slots bumped, skipping the ``O(k)`` Python-level
+  element-wise maximum entirely;
+* ``numpy`` (:class:`NumpyKernelBackend`, **gated**: selectable only
+  when numpy imports, never required) - working vectors live as
+  ``int64`` arrays for the duration of the batch, so the merge is a
+  single C call (``np.maximum``); arrays are converted back to exact
+  Python-int tuples at the batch boundary, which keeps every minted
+  timestamp - and therefore every causal verdict - bit-identical to the
+  pure-Python derivation.  The property-test suite asserts that
+  identity on random computations.
+
+Backend selection: an explicit argument to :class:`ClockKernel` wins,
+then :func:`set_default_backend`, then the ``REPRO_KERNEL_BACKEND``
+environment variable, then ``python``.  Requesting ``numpy`` without
+numpy installed raises a clean :class:`~repro.exceptions.ClockError`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional
+import os
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.clock import Timestamp
 from repro.core.components import ClockComponents
-from repro.exceptions import ComponentError
+from repro.exceptions import ClockError, ComponentError
 from repro.graph.bipartite import Vertex
+
+try:  # The gate: numpy is an optional accelerator, never a requirement.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    _np = None
+
+#: Backend names.
+PYTHON_BACKEND = "python"
+NUMPY_BACKEND = "numpy"
+
+#: 64-bit mixing constants of the stamp-digest fold (FNV prime / Knuth).
+_FOLD_MASK = (1 << 64) - 1
+_FOLD_PRIME = 0x100000001B3
+
+
+def fold_stamp_values(fold: int, thread_value: int, object_value: int) -> int:
+    """Fold one event's incremented slot values into a running 64-bit digest.
+
+    The digest is an order-sensitive projection of the timestamp stream:
+    for every stamped event it absorbs the post-increment values of the
+    event's thread and object slots (0 for an absent side).  Any
+    divergence in the clock state propagates into some later event's
+    incremented slots, so pipelines, backends and worker layouts that
+    disagree on any stamp disagree on the digest.  Pure ints, cheap, and
+    picklable - the property that lets the sharded engine carry it
+    through checkpoints.
+    """
+    return (
+        (fold ^ (thread_value * 2654435761 + object_value * 40503 + 1))
+        * _FOLD_PRIME
+    ) & _FOLD_MASK
 
 
 def rebase_timestamp(
@@ -63,6 +125,482 @@ def rebase_timestamp(
     return Timestamp._from_trusted(new_components, values)
 
 
+# ---------------------------------------------------------------------------
+# Batch backends
+# ---------------------------------------------------------------------------
+class KernelBackend:
+    """Strategy supplying the kernel's batch inner loop.
+
+    Backends are stateless between calls: all clock state lives in the
+    :class:`ClockKernel`, batch-scoped working representations are built
+    on entry and written back before returning (also on error, so a
+    strict-mode :class:`~repro.exceptions.ComponentError` raised mid-batch
+    leaves exactly the events before it applied - the same prefix a
+    sequential ``observe`` loop would have left).  Statelessness is also
+    what makes kernels picklable across backends: a backend pickles as
+    its name.
+    """
+
+    name = "abstract"
+
+    def timestamp_batch(
+        self, kernel: "ClockKernel", pairs: Sequence[Tuple[Vertex, Vertex]]
+    ) -> List[Timestamp]:
+        raise NotImplementedError
+
+    def advance_batch(
+        self,
+        kernel: "ClockKernel",
+        pairs: Sequence[Tuple[Vertex, Vertex]],
+        fold: int,
+    ) -> int:
+        raise NotImplementedError
+
+    def __reduce__(self):
+        # Checkpoints must stay loadable anywhere: a shard pickled under
+        # the numpy backend unpickles on a numpy-less host as the python
+        # backend (bit-identical by contract) instead of failing the
+        # whole resume; the resuming run re-pins its own --backend right
+        # after loading anyway.
+        return (_backend_from_checkpoint, (self.name,))
+
+
+class PythonKernelBackend(KernelBackend):
+    """The always-available pure-Python batch loop (slot-delta hot path)."""
+
+    name = PYTHON_BACKEND
+
+    def timestamp_batch(self, kernel, pairs):
+        # Minting a Timestamp per event needs a fresh tuple per event
+        # anyway, so the minted stamps themselves are the working state:
+        # this is observe() with the attribute lookups hoisted out of the
+        # loop and the slot-delta fast paths applied to the tuples.
+        components = kernel._components
+        size = components.size
+        thread_slots = kernel._thread_slot
+        object_slots = kernel._object_slot
+        thread_stamps = kernel._thread_stamps
+        object_stamps = kernel._object_stamps
+        from_trusted = Timestamp._from_trusted
+        stamps: List[Timestamp] = []
+        append = stamps.append
+        for thread, obj in pairs:
+            thread_stamp = thread_stamps.get(thread)
+            object_stamp = object_stamps.get(obj)
+            object_slot = object_slots.get(obj)
+            thread_slot = thread_slots.get(thread)
+            if thread_slot is None and object_slot is None:
+                if kernel._strict:
+                    raise ComponentError(
+                        f"operation ({thread!r}, {obj!r}) is not covered by "
+                        f"the clock components"
+                    )
+                stamp = kernel._merge_only(thread_stamp, object_stamp)
+                thread_stamps[thread] = stamp
+                object_stamps[obj] = stamp
+                append(stamp)
+                continue
+            if thread_stamp is None:
+                values = (
+                    list(object_stamp._values)
+                    if object_stamp is not None
+                    else [0] * size
+                )
+            elif object_stamp is None or object_stamp is thread_stamp:
+                values = list(thread_stamp._values)
+            else:
+                a = thread_stamp._values
+                b = object_stamp._values
+                values = [x if x >= y else y for x, y in zip(a, b)]
+            if object_slot is not None:
+                values[object_slot] += 1
+            if thread_slot is not None:
+                values[thread_slot] += 1
+            stamp = from_trusted(components, tuple(values))
+            thread_stamps[thread] = stamp
+            object_stamps[obj] = stamp
+            append(stamp)
+        return stamps
+
+    def advance_batch(self, kernel, pairs, fold):
+        # The digest-only loop keeps working vectors as plain lists
+        # (frozen by convention once shared) and mints nothing: stamps
+        # for the touched entities are materialised once at the batch
+        # boundary, preserving the thread/object stamp *sharing* the
+        # per-event fast path depends on.
+        components = kernel._components
+        size = components.size
+        thread_slots = kernel._thread_slot
+        object_slots = kernel._object_slot
+        thread_stamps = kernel._thread_stamps
+        object_stamps = kernel._object_stamps
+        thread_work: Dict[Vertex, list] = {}
+        object_work: Dict[Vertex, list] = {}
+        try:
+            for thread, obj in pairs:
+                thread_values = thread_work.get(thread)
+                if thread_values is None:
+                    stamp = thread_stamps.get(thread)
+                    if stamp is not None:
+                        thread_values = list(stamp._values)
+                object_values = object_work.get(obj)
+                if object_values is None:
+                    stamp = object_stamps.get(obj)
+                    if stamp is not None:
+                        object_values = list(stamp._values)
+                object_slot = object_slots.get(obj)
+                thread_slot = thread_slots.get(thread)
+                if thread_slot is None and object_slot is None:
+                    if kernel._strict:
+                        raise ComponentError(
+                            f"operation ({thread!r}, {obj!r}) is not covered "
+                            f"by the clock components"
+                        )
+                    # Merge-only: no increment, digest sees (0, 0).
+                    if thread_values is None:
+                        values = (
+                            object_values
+                            if object_values is not None
+                            else [0] * size
+                        )
+                    elif (
+                        object_values is None or object_values is thread_values
+                    ):
+                        values = thread_values
+                    else:
+                        values = [
+                            x if x >= y else y
+                            for x, y in zip(thread_values, object_values)
+                        ]
+                    thread_work[thread] = values
+                    object_work[obj] = values
+                    fold = (
+                        (fold ^ 1) * _FOLD_PRIME
+                    ) & _FOLD_MASK
+                    continue
+                # Slot-delta fast paths: copy + bump instead of an O(k)
+                # Python-level element-wise max whenever one operand is
+                # absent or both endpoints already share one vector.
+                if thread_values is None:
+                    values = (
+                        object_values.copy()
+                        if object_values is not None
+                        else [0] * size
+                    )
+                elif object_values is None or object_values is thread_values:
+                    values = thread_values.copy()
+                else:
+                    values = [
+                        x if x >= y else y
+                        for x, y in zip(thread_values, object_values)
+                    ]
+                if object_slot is not None:
+                    values[object_slot] += 1
+                if thread_slot is not None:
+                    values[thread_slot] += 1
+                thread_work[thread] = values
+                object_work[obj] = values
+                fold = (
+                    (
+                        fold
+                        ^ (
+                            (values[thread_slot] if thread_slot is not None else 0)
+                            * 2654435761
+                            + (values[object_slot] if object_slot is not None else 0)
+                            * 40503
+                            + 1
+                        )
+                    )
+                    * _FOLD_PRIME
+                ) & _FOLD_MASK
+        finally:
+            _write_back_lists(
+                components, thread_work, object_work, thread_stamps, object_stamps
+            )
+        return fold
+
+
+def _write_back_lists(components, thread_work, object_work,
+                      thread_stamps, object_stamps) -> None:
+    """Mint one Timestamp per unique working vector and store it.
+
+    The identity cache preserves stamp *sharing*: when a thread and an
+    object ended the batch on the same vector (they were endpoints of
+    the same last event), they get the same Timestamp instance, which is
+    what the ``object_stamp is thread_stamp`` per-event fast path and
+    the rebase cache key on.  Working vectors stay referenced by the
+    work dicts until this completes, so ``id`` keys cannot be recycled.
+    """
+    minted: Dict[int, Timestamp] = {}
+    from_trusted = Timestamp._from_trusted
+    for vertex, values in thread_work.items():
+        key = id(values)
+        stamp = minted.get(key)
+        if stamp is None:
+            stamp = from_trusted(components, tuple(values))
+            minted[key] = stamp
+        thread_stamps[vertex] = stamp
+    for vertex, values in object_work.items():
+        key = id(values)
+        stamp = minted.get(key)
+        if stamp is None:
+            stamp = from_trusted(components, tuple(values))
+            minted[key] = stamp
+        object_stamps[vertex] = stamp
+
+
+class NumpyKernelBackend(KernelBackend):
+    """The gated numpy batch loop: array-resident clocks, C-speed merge.
+
+    Working vectors are ``int64`` arrays for the duration of the batch
+    (one conversion per *touched entity*, amortised over the batch, not
+    one per event) and the element-wise maximum is a single ``np.maximum``
+    call.  Values re-enter the immutable :class:`Timestamp` world through
+    ``tolist()``, which restores exact Python ints - verdict bit-identity
+    with the python backend is asserted by the property tests.
+    """
+
+    name = NUMPY_BACKEND
+
+    #: Below this batch length the array working-state setup costs more
+    #: than it saves, so short runs (warm-up segments between component
+    #: additions, expire-riddled streams) take the pure-Python loop.
+    #: Purely a wall-clock switch: both loops are bit-identical.
+    MIN_ARRAY_BATCH = 48
+
+    #: Below this clock dimension ``np.maximum`` call overhead exceeds
+    #: the Python element-wise loop it replaces, so small clocks take
+    #: the Python loop too.  The crossover differs by mode: the
+    #: digest-only path replaces just the merge (a few dozen slots pay
+    #: off), while minting still converts every stamp back to a Python
+    #: tuple, which cancels the array win until clocks are much wider.
+    #: Same bit-identity argument as above in both cases.
+    MIN_ARRAY_DIM_ADVANCE = 48
+    MIN_ARRAY_DIM_MINT = 160
+
+    def __init__(self) -> None:
+        self._fallback = PythonKernelBackend()
+
+    def _use_arrays(self, kernel, pairs, min_dim) -> bool:
+        return (
+            len(pairs) >= self.MIN_ARRAY_BATCH
+            and kernel._components.size >= min_dim
+        )
+
+    def timestamp_batch(self, kernel, pairs):
+        if not self._use_arrays(kernel, pairs, self.MIN_ARRAY_DIM_MINT):
+            return self._fallback.timestamp_batch(kernel, pairs)
+        stamps: List[Timestamp] = []
+        self._run(kernel, pairs, 0, stamps)
+        return stamps
+
+    def advance_batch(self, kernel, pairs, fold):
+        if not self._use_arrays(kernel, pairs, self.MIN_ARRAY_DIM_ADVANCE):
+            return self._fallback.advance_batch(kernel, pairs, fold)
+        return self._run(kernel, pairs, fold, None)
+
+    def _run(self, kernel, pairs, fold, stamps):
+        np = _np
+        if np is None:  # pragma: no cover - resolve_backend gates this
+            raise ClockError("numpy backend invoked without numpy installed")
+        components = kernel._components
+        size = components.size
+        thread_slots = kernel._thread_slot
+        object_slots = kernel._object_slot
+        thread_stamps = kernel._thread_stamps
+        object_stamps = kernel._object_stamps
+        maximum = np.maximum
+        from_trusted = Timestamp._from_trusted
+        thread_work: Dict[Vertex, object] = {}
+        object_work: Dict[Vertex, object] = {}
+        try:
+            for thread, obj in pairs:
+                thread_values = thread_work.get(thread)
+                if thread_values is None:
+                    stamp = thread_stamps.get(thread)
+                    if stamp is not None:
+                        thread_values = np.array(stamp._values, dtype=np.int64)
+                object_values = object_work.get(obj)
+                if object_values is None:
+                    stamp = object_stamps.get(obj)
+                    if stamp is not None:
+                        object_values = np.array(stamp._values, dtype=np.int64)
+                object_slot = object_slots.get(obj)
+                thread_slot = thread_slots.get(thread)
+                if thread_slot is None and object_slot is None:
+                    if kernel._strict:
+                        raise ComponentError(
+                            f"operation ({thread!r}, {obj!r}) is not covered "
+                            f"by the clock components"
+                        )
+                    if thread_values is None:
+                        values = (
+                            object_values
+                            if object_values is not None
+                            else np.zeros(size, dtype=np.int64)
+                        )
+                    elif (
+                        object_values is None or object_values is thread_values
+                    ):
+                        values = thread_values
+                    else:
+                        values = maximum(thread_values, object_values)
+                    thread_work[thread] = values
+                    object_work[obj] = values
+                    if stamps is not None:
+                        stamp = from_trusted(components, tuple(values.tolist()))
+                        stamps.append(stamp)
+                    else:
+                        fold = ((fold ^ 1) * _FOLD_PRIME) & _FOLD_MASK
+                    continue
+                if thread_values is None:
+                    values = (
+                        object_values.copy()
+                        if object_values is not None
+                        else np.zeros(size, dtype=np.int64)
+                    )
+                elif object_values is None or object_values is thread_values:
+                    values = thread_values.copy()
+                else:
+                    values = maximum(thread_values, object_values)
+                if object_slot is not None:
+                    values[object_slot] += 1
+                if thread_slot is not None:
+                    values[thread_slot] += 1
+                thread_work[thread] = values
+                object_work[obj] = values
+                if stamps is not None:
+                    stamps.append(from_trusted(components, tuple(values.tolist())))
+                else:
+                    fold = (
+                        (
+                            fold
+                            ^ (
+                                (int(values[thread_slot]) if thread_slot is not None else 0)
+                                * 2654435761
+                                + (int(values[object_slot]) if object_slot is not None else 0)
+                                * 40503
+                                + 1
+                            )
+                        )
+                        * _FOLD_PRIME
+                    ) & _FOLD_MASK
+        finally:
+            self._write_back(
+                components, thread_work, object_work, thread_stamps, object_stamps
+            )
+        return fold
+
+    @staticmethod
+    def _write_back(components, thread_work, object_work,
+                    thread_stamps, object_stamps) -> None:
+        minted: Dict[int, Timestamp] = {}
+        from_trusted = Timestamp._from_trusted
+        for store, work in (
+            (thread_stamps, thread_work),
+            (object_stamps, object_work),
+        ):
+            for vertex, values in work.items():
+                key = id(values)
+                stamp = minted.get(key)
+                if stamp is None:
+                    stamp = from_trusted(components, tuple(values.tolist()))
+                    minted[key] = stamp
+                store[vertex] = stamp
+
+
+_BACKENDS: Dict[str, KernelBackend] = {PYTHON_BACKEND: PythonKernelBackend()}
+
+#: Process-wide default set by :func:`set_default_backend` (``None`` defers
+#: to the ``REPRO_KERNEL_BACKEND`` environment variable, then ``python``).
+_DEFAULT_BACKEND: Optional[str] = None
+
+
+def numpy_available() -> bool:
+    """``True`` when the optional numpy backend can actually be selected."""
+    return _np is not None
+
+
+def available_backends() -> Tuple[str, ...]:
+    """The backend names selectable in this process, python first."""
+    if _np is not None:
+        return (PYTHON_BACKEND, NUMPY_BACKEND)
+    return (PYTHON_BACKEND,)
+
+
+def default_backend_name() -> str:
+    """The backend used when no explicit choice is made anywhere."""
+    if _DEFAULT_BACKEND is not None:
+        return _DEFAULT_BACKEND
+    return os.environ.get("REPRO_KERNEL_BACKEND", "").strip() or PYTHON_BACKEND
+
+
+def default_backend_override() -> Optional[str]:
+    """The explicit process-wide override, or ``None`` when unset.
+
+    Distinct from :func:`default_backend_name`, which also folds in the
+    environment variable and the ``python`` fallback - callers that pin
+    a backend temporarily (the ratio sweep's workers) save this raw
+    value and restore it, so they never clobber an ambient selection.
+    """
+    return _DEFAULT_BACKEND
+
+
+def set_default_backend(name: Optional[str]) -> None:
+    """Set (or with ``None`` clear) the process-wide default backend.
+
+    Validates availability immediately, so a CLI ``--backend numpy``
+    without numpy fails at argument-handling time, not deep inside a run.
+    """
+    global _DEFAULT_BACKEND
+    if name is not None:
+        resolve_backend(name)
+    _DEFAULT_BACKEND = name
+
+
+def _backend_from_checkpoint(name: str) -> KernelBackend:
+    """Unpickle entry point for backends: lenient where resolve is strict.
+
+    See :meth:`KernelBackend.__reduce__` - an unavailable backend named
+    by old state degrades to ``python`` rather than making the pickle
+    unreadable.
+    """
+    try:
+        return resolve_backend(name)
+    except ClockError:
+        return resolve_backend(PYTHON_BACKEND)
+
+
+def resolve_backend(name: Optional[str] = None) -> KernelBackend:
+    """The backend instance for ``name`` (``None``: the current default).
+
+    Raises :class:`~repro.exceptions.ClockError` for unknown names and
+    for ``numpy`` when numpy is not importable - the gate that keeps the
+    accelerator optional.
+    """
+    if isinstance(name, KernelBackend):
+        return name
+    if name is None:
+        name = default_backend_name()
+    if name == NUMPY_BACKEND:
+        if _np is None:
+            raise ClockError(
+                "kernel backend 'numpy' requested but numpy is not "
+                "importable; install numpy or select the 'python' backend"
+            )
+        backend = _BACKENDS.get(NUMPY_BACKEND)
+        if backend is None:
+            backend = _BACKENDS[NUMPY_BACKEND] = NumpyKernelBackend()
+        return backend
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        raise ClockError(
+            f"unknown kernel backend {name!r} "
+            f"(expected one of: {', '.join(available_backends())})"
+        ) from None
+
+
 class ClockKernel:
     """Mutable per-thread / per-object clock state for one protocol run.
 
@@ -77,6 +615,10 @@ class ClockKernel:
         :class:`ComponentError`; when ``False`` the operation is merged but
         not incremented (see ``VectorClockProtocol`` for why that loses the
         vector clock property).
+    backend:
+        The :class:`KernelBackend` (or its name) supplying the batch inner
+        loop; ``None`` resolves the process default (see the module
+        docstring).  The backend never changes results, only wall-clock.
     """
 
     __slots__ = (
@@ -89,12 +631,19 @@ class ClockKernel:
         "_object_stamps",
         "_epoch",
         "_retired_total",
+        "_backend",
     )
 
-    def __init__(self, components: ClockComponents, strict: bool = True) -> None:
+    def __init__(
+        self,
+        components: ClockComponents,
+        strict: bool = True,
+        backend: Optional[object] = None,
+    ) -> None:
         self._strict = strict
         self._epoch = 0
         self._retired_total = 0
+        self._backend = resolve_backend(backend)
         self._thread_stamps: Dict[Vertex, Timestamp] = {}
         self._object_stamps: Dict[Vertex, Timestamp] = {}
         self._bind_components(components)
@@ -128,6 +677,20 @@ class ClockKernel:
     def retired_total(self) -> int:
         """Total components retired across all epoch rotations so far."""
         return self._retired_total
+
+    @property
+    def backend_name(self) -> str:
+        """Name of the backend supplying the batch inner loop."""
+        return self._backend.name
+
+    def set_backend(self, backend: Optional[object]) -> None:
+        """Swap the batch backend (results are identical by contract).
+
+        Used when resuming a checkpointed run under a different
+        ``--backend``: the pickled kernel carries the backend it ran
+        with, and the resuming configuration wins.
+        """
+        self._backend = resolve_backend(backend)
 
     def thread_stamp(self, thread: Vertex) -> Timestamp:
         """Current clock of ``thread`` as an immutable timestamp."""
@@ -182,6 +745,52 @@ class ClockKernel:
         self._thread_stamps[thread] = stamp
         self._object_stamps[obj] = stamp
         return stamp
+
+    def timestamp_batch(
+        self, pairs: Sequence[Tuple[Vertex, Vertex]]
+    ) -> List[Timestamp]:
+        """Apply the update rule to a whole chunk; one timestamp per event.
+
+        Bit-identical to calling :meth:`observe` per pair (the property
+        tests assert it for every backend), but the inner loop is the
+        backend's: slot lookups and stamp allocation are amortised over
+        the batch instead of being re-paid per Python call.  On a
+        strict-mode coverage error the events preceding the offender are
+        applied, exactly as a sequential loop would have left them.
+        """
+        return self._backend.timestamp_batch(self, pairs)
+
+    def advance_batch(
+        self, pairs: Sequence[Tuple[Vertex, Vertex]], fold: int = 0
+    ) -> int:
+        """Advance the clocks over a chunk without minting timestamps.
+
+        The engine's hot path: per-thread/object clock state ends up
+        exactly as after :meth:`timestamp_batch`, but no per-event
+        :class:`Timestamp` is materialised - the returned value is
+        ``fold`` advanced by :func:`fold_stamp_values` for every event,
+        the digest the sharded engine carries into its fingerprint.
+        """
+        return self._backend.advance_batch(self, pairs, fold)
+
+    def fold_event(
+        self, fold: int, stamp: Timestamp, thread: Vertex, obj: Vertex
+    ) -> int:
+        """Fold one per-event stamp into the digest (per-event pipeline).
+
+        The counterpart of :meth:`advance_batch`'s internal fold: both
+        absorb the post-increment thread/object slot values, so the
+        per-event and batched pipelines produce the same digest for the
+        same stream.
+        """
+        thread_slot = self._thread_slot.get(thread)
+        object_slot = self._object_slot.get(obj)
+        values = stamp._values
+        return fold_stamp_values(
+            fold,
+            values[thread_slot] if thread_slot is not None else 0,
+            values[object_slot] if object_slot is not None else 0,
+        )
 
     def _merge_only(
         self, thread_stamp: Optional[Timestamp], object_stamp: Optional[Timestamp]
@@ -249,15 +858,67 @@ class ClockKernel:
         so rebased results are cached per input stamp to preserve that
         sharing - the ``object_stamp is thread_stamp`` fast path in
         :meth:`observe` depends on it.
-        """
-        rebased: Dict[Timestamp, Timestamp] = {}
 
-        def rebase(stamp: Timestamp) -> Timestamp:
-            cached = rebased.get(stamp)
-            if cached is None:
-                cached = rebase_timestamp(stamp, new_components)
-                rebased[stamp] = cached
-            return cached
+        When ``new_components`` is a pure *append* of the current set
+        (what :meth:`ClockComponents.extended` produces: new threads
+        after the old thread block, new objects at the end, relative
+        order preserved) the rebase is three slices and two zero pads
+        per stored vector instead of a per-slot identity lookup - the
+        difference between component growth being free and it dominating
+        the online warm-up phase.
+
+        The cache is keyed by stamp *identity* (``id``), not value:
+        hashing a ``k``-slot tuple per stored stamp would cost more than
+        the rebase itself, and identity is exactly what the cache must
+        preserve.  The input stamps stay referenced by the two stamp
+        dicts (and ``keep``) for the duration, so ids cannot be
+        recycled mid-rebase.
+        """
+        old = self._components
+        old_order = old.ordered
+        old_threads = len(old.thread_components)
+        old_size = old.size
+        new_order = new_components.ordered
+        added_threads = (
+            len(new_components.thread_components) - old_threads
+        )
+        object_block = old_threads + added_threads
+        is_append = (
+            added_threads >= 0
+            and new_order[:old_threads] == old_order[:old_threads]
+            and new_order[object_block:object_block + (old_size - old_threads)]
+            == old_order[old_threads:]
+        )
+        rebased: Dict[int, Timestamp] = {}
+        keep: List[Timestamp] = []
+        if is_append:
+            thread_pad = (0,) * added_threads
+            object_pad = (0,) * (new_components.size - old_size - added_threads)
+
+            def rebase(stamp: Timestamp) -> Timestamp:
+                cached = rebased.get(id(stamp))
+                if cached is None:
+                    values = stamp._values
+                    cached = Timestamp._from_trusted(
+                        new_components,
+                        values[:old_threads]
+                        + thread_pad
+                        + values[old_threads:]
+                        + object_pad,
+                    )
+                    rebased[id(stamp)] = cached
+                    keep.append(stamp)
+                return cached
+
+        else:
+
+            def rebase(stamp: Timestamp) -> Timestamp:
+                cached = rebased.get(id(stamp))
+                if cached is None:
+                    cached = rebase_timestamp(stamp, new_components)
+                    rebased[id(stamp)] = cached
+                    keep.append(stamp)
+                return cached
 
         for vertex, stamp in self._thread_stamps.items():
             self._thread_stamps[vertex] = rebase(stamp)

@@ -58,12 +58,21 @@ class VectorClockProtocol:
         merge and no increment).  This is only useful for demonstrating in
         tests and examples *why* coverage is required; production callers
         should leave it on.
+    backend:
+        Kernel batch backend (name or instance) for the chunked entry
+        points; ``None`` resolves the process default.  Never changes the
+        timestamps, only the wall-clock of the batch paths.
     """
 
-    def __init__(self, components: ClockComponents, strict: bool = True) -> None:
+    def __init__(
+        self,
+        components: ClockComponents,
+        strict: bool = True,
+        backend: Optional[object] = None,
+    ) -> None:
         self._components = components
         self._strict = strict
-        self._kernel = ClockKernel(components, strict=strict)
+        self._kernel = ClockKernel(components, strict=strict, backend=backend)
         self._events_observed = 0
 
     # ------------------------------------------------------------------
@@ -103,6 +112,24 @@ class VectorClockProtocol:
         """Apply the update rule for an already-minted :class:`Event`."""
         return self.observe(event.thread, event.obj)
 
+    def timestamp_batch(
+        self, pairs: Sequence[Tuple[ThreadId, ObjectId]]
+    ) -> List[Timestamp]:
+        """Apply the update rule to a chunk of operations, in order.
+
+        The incremental batch entry point: unlike
+        :meth:`timestamp_computation` it may be called repeatedly, so a
+        streaming consumer can feed the protocol chunk by chunk.  The
+        returned timestamps are bit-identical to per-event
+        :meth:`observe` calls - the loop is just the kernel backend's.
+        """
+        pairs = list(pairs)
+        # Count before running, like timestamp_computation: a coverage
+        # error mid-batch leaves the kernel dirty, and the fresh-instance
+        # guards must keep refusing reuse (reset() is the recovery path).
+        self._events_observed += len(pairs)
+        return self._kernel.timestamp_batch(pairs)
+
     # ------------------------------------------------------------------
     # Whole computations
     # ------------------------------------------------------------------
@@ -125,10 +152,11 @@ class VectorClockProtocol:
         # fresh-instance guard above must keep refusing reuse (reset() is
         # the recovery path).
         self._events_observed = len(computation)
-        observe = self._kernel.observe
-        timestamps: Dict[Event, Timestamp] = {
-            event: observe(event.thread, event.obj) for event in computation
-        }
+        events = list(computation)
+        stamps = self._kernel.timestamp_batch(
+            [(event.thread, event.obj) for event in events]
+        )
+        timestamps: Dict[Event, Timestamp] = dict(zip(events, stamps))
         return TimestampedComputation(computation, self._components, timestamps)
 
     def reset(self) -> None:
@@ -341,10 +369,12 @@ class EpochClock:
         components: Optional[ClockComponents] = None,
         strict: bool = True,
         check_invariant: bool = False,
+        backend: Optional[object] = None,
     ) -> None:
         self._kernel = ClockKernel(
             components if components is not None else ClockComponents(),
             strict=strict,
+            backend=backend,
         )
         self._check_invariant = check_invariant
         # token -> (thread, obj); dicts preserve insertion (= stream) order
@@ -397,6 +427,28 @@ class EpochClock:
         self._live_stamps[token] = stamp
         self._tokens_by_pair.setdefault((thread, obj), deque()).append(token)
         return token
+
+    def observe_batch(self, pairs: Sequence[Tuple[Vertex, Vertex]]) -> List[int]:
+        """Timestamp a chunk of operations; returns their event tokens.
+
+        Equivalent to calling :meth:`observe` per pair (same stamps, same
+        tokens), with the kernel's batch loop doing the per-event work.
+        Lifecycle ticks (:meth:`expire`, :meth:`rotate`) cannot occur
+        *inside* a batch by construction - callers chunk their streams at
+        lifecycle boundaries, as the sharded engine does.
+        """
+        pairs = list(pairs)
+        stamps = self._kernel.timestamp_batch(pairs)
+        tokens: List[int] = []
+        token = self._next_token
+        for pair, stamp in zip(pairs, stamps):
+            self._live_pairs[token] = pair
+            self._live_stamps[token] = stamp
+            self._tokens_by_pair.setdefault(pair, deque()).append(token)
+            tokens.append(token)
+            token += 1
+        self._next_token = token
+        return tokens
 
     def expire(self, thread: Vertex, obj: Vertex) -> int:
         """Expire the *oldest* live occurrence of ``(thread, obj)``.

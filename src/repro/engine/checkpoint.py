@@ -39,6 +39,7 @@ import json
 import os
 import pickle
 import tempfile
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional
@@ -227,7 +228,7 @@ class EngineCheckpointManager:
             )
         return rows
 
-    def prune(self) -> List[Path]:
+    def prune(self, max_age: Optional[float] = None) -> List[Path]:
         """Remove files the manifest does not account for; returns them.
 
         Prunable files are (a) shard checkpoints whose id falls outside
@@ -237,12 +238,30 @@ class EngineCheckpointManager:
         siblings of the manifest or a shard file).  Nothing else is
         touched: a file this manager did not plausibly create is not this
         manager's to delete.
+
+        ``max_age`` (seconds) additionally prunes *stale but referenced*
+        shard checkpoints: in-range shard files whose modification time
+        is older than ``max_age`` seconds.  Deleting one is always safe -
+        :meth:`load` returns ``None`` for the missing shard and the next
+        run recomputes it from the stream - so age-based pruning trades
+        recomputation for disk space on long-abandoned runs.  The
+        manifest itself is kept (it is the directory's identity).
         """
+        if max_age is not None and max_age < 0:
+            raise EngineError(f"max_age must be non-negative, got {max_age}")
         num_shards = int(self._signature.get("num_shards", 0))
         doomed: List[Path] = []
+        cutoff = None if max_age is None else time.time() - max_age
         for shard_id, path in self.shard_files().items():
             if not (0 <= shard_id < num_shards):
                 doomed.append(path)
+            elif cutoff is not None:
+                try:
+                    stale = path.stat().st_mtime < cutoff
+                except OSError:
+                    stale = False
+                if stale:
+                    doomed.append(path)
         for path in self._directory.glob(MANIFEST_NAME + ".*"):
             doomed.append(path)
         for path in self._directory.glob("shard-*.pickle.*"):

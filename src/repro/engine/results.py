@@ -71,6 +71,14 @@ class SeriesFragment:
     inserts, an epoch rebuild on an otherwise idle shard).  It
     contributes no samples or ratios; its ``final_size`` / ``retired``
     are the state at its range end, which merging carries forward.
+
+    ``stamp_digest`` is the cumulative 64-bit timestamp digest as of the
+    fragment's end (see :func:`repro.core.kernel.fold_stamp_values`),
+    recorded only by runs with the timestamping stage enabled
+    (``EngineConfig.timestamps``); like ``retired`` it is cumulative, so
+    merging carries the temporally later fragment's value.  ``None``
+    fragments (the offline series, timestamp-less runs) contribute
+    nothing to the fingerprint, keeping it unchanged for existing runs.
     """
 
     start: int
@@ -81,6 +89,7 @@ class SeriesFragment:
     ratios: MergeableStats = field(default_factory=MergeableStats)
     sketch: Optional[QuantileSketch] = None
     retired: int = 0
+    stamp_digest: Optional[int] = None
 
     @property
     def end(self) -> int:
@@ -114,8 +123,9 @@ class SeriesFragment:
         else:
             sketch = earlier.sketch.merge(later.sketch)
         # Contiguity makes ``later`` temporally last, so its carried
-        # state (final size, cumulative retirements) wins even when it is
-        # a count-0 lifecycle-update fragment.
+        # state (final size, cumulative retirements, cumulative stamp
+        # digest) wins even when it is a count-0 lifecycle-update
+        # fragment.
         return SeriesFragment(
             start=earlier.start,
             count=earlier.count + later.count,
@@ -125,6 +135,11 @@ class SeriesFragment:
             ratios=earlier.ratios.merge(later.ratios),
             sketch=sketch,
             retired=later.retired,
+            stamp_digest=(
+                later.stamp_digest
+                if later.stamp_digest is not None
+                else earlier.stamp_digest
+            ),
         )
 
 
@@ -305,6 +320,14 @@ class EngineResult:
                 )
             else:
                 quantiles = "-"
+            # The stamp-digest suffix appears only when the timestamping
+            # stage ran, so fingerprints of existing (timestamp-less)
+            # configurations are byte-identical to previous releases.
+            digest_suffix = (
+                f" stamps={frag.stamp_digest:#018x}"
+                if frag.stamp_digest is not None
+                else ""
+            )
             lines.append(
                 f"shard={shard} label={label} start={frag.start} "
                 f"count={frag.count} stride={frag.stride} "
@@ -313,6 +336,7 @@ class EngineResult:
                 f"ratio_count={stats.count} ratio_mean={stats.mean!r} "
                 f"ratio_m2={stats.m2!r} ratio_min={stats.minimum!r} "
                 f"ratio_max={stats.maximum!r} ratio_p50_p95={quantiles}"
+                + digest_suffix
             )
         return lines
 

@@ -46,6 +46,9 @@ from typing import Deque, Dict, List, Optional, Tuple
 from repro.analysis.experiments import EXTENDED_MECHANISMS
 from repro.analysis.metrics import QuantileSketch, RunningStats
 from repro.computation.registry import REGISTRY, STREAM
+from repro.computation.streams import EPOCH, INSERT
+from repro.core.components import ClockComponents
+from repro.core.kernel import ClockKernel, resolve_backend
 from repro.engine.checkpoint import EngineCheckpointManager, ShardCheckpoint
 from repro.engine.executor import ShardExecutor
 from repro.engine.results import (
@@ -56,11 +59,22 @@ from repro.engine.results import (
     merge_partials,
 )
 from repro.engine.sharding import HASH, STRATEGIES, StreamSharder
-from repro.exceptions import EngineError, ScenarioError
+from repro.exceptions import ClockError, EngineError, ScenarioError
 from repro.graph.incremental import DynamicMatching
-from repro.online.base import OnlineMechanism
+from repro.online.base import THREAD, OnlineMechanism
 from repro.online.simulator import seed_mechanism_factories
 from repro.seeds import derive_seed
+
+#: Execution pipelines: how events flow through the consumers.  Never part
+#: of a run's identity - the merged result is bit-identical across them.
+BATCHED = "batched"
+PER_EVENT = "per-event"
+PIPELINES = (BATCHED, PER_EVENT)
+
+#: Upper bound on one insert run handed to ``observe_batch`` /
+#: ``advance_batch`` (bounds working memory; flushing early never changes
+#: results, so this is not part of a run's identity either).
+MAX_BATCH_EVENTS = 4096
 
 
 class EngineInterrupted(EngineError):
@@ -87,6 +101,28 @@ class EngineConfig:
     emits); it is part of the run's identity - window-aware mechanisms
     restructure their clocks at boundaries - so it lives in the
     signature, unlike ``--jobs``.
+
+    Three fields shape the hot path without (``pipeline``, ``backend``)
+    or with (``timestamps``) shaping the numbers:
+
+    * ``pipeline`` - ``"batched"`` (default) consumes each shard's
+      inserts in runs cut at lifecycle ticks and chunk/epoch boundaries,
+      feeding ``observe_batch`` / ``advance_batch``; ``"per-event"`` is
+      the classic one-call-per-event loop.  Bit-identical results; the
+      fingerprint proves it.
+    * ``backend`` - the kernel backend (``python`` / ``numpy``) for the
+      timestamping stage; ``None`` resolves the process default.  The
+      numpy backend is gated on numpy importing and never changes a
+      single stamp value.
+    * ``timestamps`` - when ``True``, every shard actually *mints* a
+      timestamp per insert per mechanism label (the monitoring system's
+      real output, driven through a per-label :class:`ClockKernel` that
+      follows the mechanism's component additions) and folds the stamps
+      into a per-label digest carried under the fingerprint.  Part of
+      the signature: it adds digest lines to the canonical result.
+      Restricted to append-only mechanisms - retirement would require a
+      per-shard rotation/replay story, which stays with
+      :class:`~repro.online.adaptive.LifecycleClockDriver`.
     """
 
     scenario: str
@@ -105,6 +141,9 @@ class EngineConfig:
     checkpoint_dir: Optional[str] = None
     trajectory_stride: int = 0
     max_chunks_per_shard: Optional[int] = None
+    pipeline: str = BATCHED
+    backend: Optional[str] = None
+    timestamps: bool = False
 
     def validate(self) -> None:
         try:
@@ -154,6 +193,25 @@ class EngineConfig:
             raise EngineError("trajectory_stride must be >= 0")
         if self.max_chunks_per_shard is not None and self.max_chunks_per_shard < 1:
             raise EngineError("max_chunks_per_shard must be >= 1")
+        if self.pipeline not in PIPELINES:
+            raise EngineError(
+                f"unknown pipeline {self.pipeline!r} "
+                f"(expected one of: {', '.join(PIPELINES)})"
+            )
+        if self.backend is not None:
+            try:
+                resolve_backend(self.backend)
+            except ClockError as error:
+                raise EngineError(str(error)) from None
+        if self.timestamps:
+            for label in self.mechanisms:
+                if EXTENDED_MECHANISMS[label](0).window_aware:
+                    raise EngineError(
+                        f"timestamps=True is limited to append-only "
+                        f"mechanisms; {label!r} retires components, which "
+                        f"would require per-shard epoch rotation (use "
+                        f"LifecycleClockDriver for that)"
+                    )
 
     @property
     def stride(self) -> int:
@@ -168,9 +226,15 @@ class EngineConfig:
         Two configurations with equal signatures produce bit-identical
         merged metrics, so this is what the checkpoint manifest records.
         ``max_chunks_per_shard`` is excluded on purpose: an interrupted
-        run and its resumption are the *same* run.
+        run and its resumption are the *same* run - and so are
+        ``pipeline`` and ``backend``, which by contract never change a
+        number (a run checkpointed under one may resume under another).
+        ``timestamps`` *is* identity - it adds digest series - but the
+        key is recorded only when set, so checkpoint directories written
+        before the timestamping stage existed (whose semantics are
+        unchanged) stay resumable.
         """
-        return {
+        signature = {
             "scenario": self.scenario,
             "num_threads": self.num_threads,
             "num_objects": self.num_objects,
@@ -186,15 +250,27 @@ class EngineConfig:
             "strategy": self.strategy,
             "stride": self.stride,
         }
+        if self.timestamps:
+            signature["timestamps"] = True
+        return signature
 
 
 @dataclass
 class _ShardConsumers:
-    """The picklable per-shard run state (what a checkpoint snapshots)."""
+    """The picklable per-shard run state (what a checkpoint snapshots).
+
+    ``clocks`` / ``stamp_folds`` exist only for timestamping runs: one
+    :class:`ClockKernel` per mechanism label (its component set follows
+    the mechanism's decisions) and the label's cumulative stamp digest.
+    Kernels pickle with their backend reduced to its name, so a resumed
+    run can re-pin them to its own ``--backend``.
+    """
 
     mechanisms: Dict[str, OnlineMechanism]
     engine: Optional[DynamicMatching]
     live_window: Optional[Deque[Tuple[object, object]]]
+    clocks: Optional[Dict[str, ClockKernel]] = None
+    stamp_folds: Optional[Dict[str, int]] = None
 
 
 class _ChunkBuffers:
@@ -220,7 +296,11 @@ class _ChunkBuffers:
             self.samples[OFFLINE_LABEL] = []
             self.ratios[OFFLINE_LABEL] = RunningStats()
 
-    def freeze(self, shard_id: int) -> PartialResult:
+    def freeze(
+        self,
+        shard_id: int,
+        stamp_folds: Optional[Dict[str, int]] = None,
+    ) -> PartialResult:
         """The chunk as a mergeable partial.
 
         Chunks covering no inserts can still carry facts: expire and
@@ -231,6 +311,10 @@ class _ChunkBuffers:
         values, so a trailing expire-only chunk is not lost.  A label
         with no recorded state (e.g. the offline series of an
         insert-less chunk) freezes to nothing.
+
+        ``stamp_folds`` (timestamping runs) is the per-label cumulative
+        digest as of this chunk boundary; it rides on each mechanism
+        fragment like the other carried-forward facts.
         """
         series: Dict[Tuple[int, str], SeriesFragment] = {}
         for label, samples in self.samples.items():
@@ -245,6 +329,9 @@ class _ChunkBuffers:
                 ratios=self.ratios[label].freeze(),
                 sketch=self.sketches.get(label),
                 retired=self.retired.get(label, 0),
+                stamp_digest=(
+                    stamp_folds.get(label) if stamp_folds is not None else None
+                ),
             )
         return PartialResult(
             inserts=self.inserts, expires=self.expires, epochs=self.epochs,
@@ -271,8 +358,22 @@ def _fresh_consumers(config: EngineConfig, shard_id: int,
     live_window = (
         deque() if (config.window is not None and not scenario_expires) else None
     )
+    clocks = None
+    stamp_folds = None
+    if config.timestamps:
+        # One kernel per label, born empty: the mechanism's first
+        # decisions extend it before the triggering events are stamped,
+        # so every stamped event is covered and strict mode holds.
+        clocks = {
+            label: ClockKernel(
+                ClockComponents(), strict=True, backend=config.backend
+            )
+            for label in config.mechanisms
+        }
+        stamp_folds = {label: 0 for label in config.mechanisms}
     return _ShardConsumers(
-        mechanisms=mechanisms, engine=engine, live_window=live_window
+        mechanisms=mechanisms, engine=engine, live_window=live_window,
+        clocks=clocks, stamp_folds=stamp_folds,
     )
 
 
@@ -301,6 +402,12 @@ def run_shard(config: EngineConfig, shard_id: int) -> PartialResult:
         raw_consumed = checkpoint.raw_events_consumed
         inserts_done = checkpoint.inserts_done
         chunks_done = checkpoint.chunks_done
+        if config.timestamps and consumers.clocks is not None:
+            # The pickled kernels carry the backend they ran under; the
+            # resuming configuration wins (backends are bit-identical by
+            # contract, so this is purely a wall-clock choice).
+            for kernel in consumers.clocks.values():
+                kernel.set_backend(config.backend)
     else:
         consumers = _fresh_consumers(config, shard_id, scenario.expires)
         partial = PartialResult()
@@ -337,10 +444,12 @@ def run_shard(config: EngineConfig, shard_id: int) -> PartialResult:
     mechanisms = consumers.mechanisms
     engine = consumers.engine
     live_window = consumers.live_window
+    clocks = consumers.clocks
+    stamp_folds = consumers.stamp_folds
 
     def complete_chunk() -> None:
         nonlocal partial, chunk, chunks_done
-        partial = partial.merge(chunk.freeze(shard_id))
+        partial = partial.merge(chunk.freeze(shard_id, stamp_folds))
         chunks_done += 1
         if manager is not None:
             manager.save(
@@ -379,58 +488,246 @@ def run_shard(config: EngineConfig, shard_id: int) -> PartialResult:
             engine.remove_edge(thread, obj)
         chunk.expires += 1
 
-    for shard, event in tagged:
-        raw_consumed += 1
-        if shard != shard_id:
-            continue
-        if event.is_epoch:
-            deliver_epoch()
-            continue
-        if event.is_expire:
-            deliver_expire(event.thread, event.obj)
-            continue
-        if live_window is not None:
-            if config.window is not None and len(live_window) == config.window:
-                old_thread, old_obj = live_window.popleft()
-                deliver_expire(old_thread, old_obj)
-            live_window.append(event.pair)
-        offline_size = 0
-        if engine is not None:
-            engine.add_edge(event.thread, event.obj)
-            offline_size = engine.size
-        index = inserts_done
-        sample_point = index % config.stride == 0
-        for label, mechanism in mechanisms.items():
-            mechanism.observe(event.thread, event.obj)
-            size = mechanism.clock_size
-            chunk.final[label] = size
-            chunk.retired[label] = mechanism.retired_total
-            if sample_point:
-                chunk.samples[label].append(size)
-            if offline_size:
-                chunk.ratios[label].update(size / offline_size)
-                chunk.sketches[label].update(size / offline_size)
-        if engine is not None:
-            chunk.final[OFFLINE_LABEL] = offline_size
-            if sample_point:
-                chunk.samples[OFFLINE_LABEL].append(offline_size)
-        inserts_done += 1
-        chunk.inserts += 1
+    def extend_clock(kernel: ClockKernel, decision) -> None:
+        """Mirror one component addition onto a label's kernel."""
+        if decision.choice == THREAD:
+            kernel.extend_components(thread_components=(decision.component,))
+        else:
+            kernel.extend_components(object_components=(decision.component,))
+
+    def interrupt_if_due() -> None:
         if (
-            config.epoch_every is not None
-            and inserts_done % config.epoch_every == 0
+            config.max_chunks_per_shard is not None
+            and chunks_done >= config.max_chunks_per_shard
         ):
-            deliver_epoch()
-        if chunk.inserts == config.chunk_size:
-            complete_chunk()
+            raise EngineInterrupted(
+                f"shard {shard_id} stopped after {chunks_done} chunks "
+                f"({inserts_done} inserts checkpointed)"
+            )
+
+    if config.pipeline == PER_EVENT or live_window is not None:
+        # ------------------------------------------------------------------
+        # The classic loop: one consumer call per event.  An *imposed*
+        # sliding window also lands here regardless of config.pipeline:
+        # once the window fills, every insert is preceded by an expire
+        # tick, so insert runs degenerate to single events and the
+        # batched loop would only add flush bookkeeping per event.
+        # (Scenario-emitted expiry - churn bursts - batches fine and
+        # stays on the batched path.)  Results are identical either way.
+        # ------------------------------------------------------------------
+        for shard, event in tagged:
+            raw_consumed += 1
+            if shard != shard_id:
+                continue
+            if event.is_epoch:
+                deliver_epoch()
+                continue
+            if event.is_expire:
+                deliver_expire(event.thread, event.obj)
+                continue
+            if live_window is not None:
+                if config.window is not None and len(live_window) == config.window:
+                    old_thread, old_obj = live_window.popleft()
+                    deliver_expire(old_thread, old_obj)
+                live_window.append(event.pair)
+            offline_size = 0
+            if engine is not None:
+                engine.add_edge(event.thread, event.obj)
+                offline_size = engine.size
+            index = inserts_done
+            sample_point = index % config.stride == 0
+            for label, mechanism in mechanisms.items():
+                if clocks is None:
+                    mechanism.observe(event.thread, event.obj)
+                else:
+                    decisions_before = mechanism.decision_count
+                    mechanism.observe(event.thread, event.obj)
+                    kernel = clocks[label]
+                    if mechanism.decision_count != decisions_before:
+                        extend_clock(
+                            kernel,
+                            mechanism.decisions_since(decisions_before)[0],
+                        )
+                    stamp = kernel.observe(event.thread, event.obj)
+                    stamp_folds[label] = kernel.fold_event(
+                        stamp_folds[label], stamp, event.thread, event.obj
+                    )
+                size = mechanism.clock_size
+                chunk.final[label] = size
+                chunk.retired[label] = mechanism.retired_total
+                if sample_point:
+                    chunk.samples[label].append(size)
+                if offline_size:
+                    chunk.ratios[label].update(size / offline_size)
+                    chunk.sketches[label].update(size / offline_size)
+            if engine is not None:
+                chunk.final[OFFLINE_LABEL] = offline_size
+                if sample_point:
+                    chunk.samples[OFFLINE_LABEL].append(offline_size)
+            inserts_done += 1
+            chunk.inserts += 1
             if (
-                config.max_chunks_per_shard is not None
-                and chunks_done >= config.max_chunks_per_shard
+                config.epoch_every is not None
+                and inserts_done % config.epoch_every == 0
             ):
-                raise EngineInterrupted(
-                    f"shard {shard_id} stopped after {chunks_done} chunks "
-                    f"({inserts_done} inserts checkpointed)"
+                deliver_epoch()
+            if chunk.inserts == config.chunk_size:
+                complete_chunk()
+                interrupt_if_due()
+    else:
+        # ------------------------------------------------------------------
+        # The batched pipeline: runs of consecutive inserts, cut at
+        # lifecycle ticks and chunk / epoch boundaries, flow through
+        # observe_batch (mechanisms) and advance_batch (kernels) so the
+        # per-event Python dispatch is paid once per run, not per event.
+        # Identical interleaving, identical numbers - the fingerprint
+        # equality with the per-event loop is asserted in CI.
+        # ------------------------------------------------------------------
+        pending: List[Tuple[object, object]] = []
+        stride = config.stride
+        # The timestamping stage has its own, longer accumulation: the
+        # per-label kernels consume *inserts only* (append-only clocks
+        # ignore expiry), so their runs are cut by chunk boundaries and
+        # the memory cap - not by the lifecycle ticks that cut mechanism
+        # runs.  This is what amortises the backends' working-state setup
+        # over thousands of events even on churn-heavy streams.
+        kernel_pending: List[Tuple[object, object]] = []
+        kernel_start = inserts_done
+        decision_cursor = (
+            {
+                label: mechanism.decision_count
+                for label, mechanism in mechanisms.items()
+            }
+            if clocks is not None
+            else {}
+        )
+
+        def flush_stamps() -> None:
+            """Advance every label's kernel over the accumulated inserts.
+
+            Sub-runs are cut exactly where the mechanism's decision log
+            says a component was added, each addition extending the
+            kernel *before* its triggering event is stamped - the same
+            order the per-event loop produces, hence the same digest.
+            """
+            nonlocal kernel_start
+            if not kernel_pending:
+                return
+            for label, mechanism in mechanisms.items():
+                kernel = clocks[label]
+                fold = stamp_folds[label]
+                cursor_offset = 0
+                for decision in mechanism.decisions_since(
+                    decision_cursor[label]
+                ):
+                    offset = decision.event_index - kernel_start
+                    if offset > cursor_offset:
+                        fold = kernel.advance_batch(
+                            kernel_pending[cursor_offset:offset], fold
+                        )
+                        cursor_offset = offset
+                    extend_clock(kernel, decision)
+                decision_cursor[label] = mechanism.decision_count
+                if cursor_offset:
+                    fold = kernel.advance_batch(
+                        kernel_pending[cursor_offset:], fold
+                    )
+                else:
+                    fold = kernel.advance_batch(kernel_pending, fold)
+                stamp_folds[label] = fold
+            kernel_start += len(kernel_pending)
+            kernel_pending.clear()
+
+        def run_cap() -> int:
+            """Largest run that cannot overshoot a chunk/epoch boundary."""
+            cap = config.chunk_size - chunk.inserts
+            if config.epoch_every is not None:
+                cap = min(
+                    cap,
+                    config.epoch_every - inserts_done % config.epoch_every,
                 )
+            return min(cap, MAX_BATCH_EVENTS)
+
+        def flush_inserts() -> None:
+            nonlocal inserts_done
+            if not pending:
+                return
+            count = len(pending)
+            start = inserts_done
+            offline_sizes: Optional[List[int]] = None
+            if engine is not None:
+                offline_sizes = []
+                add_edge = engine.add_edge
+                append_offline = offline_sizes.append
+                for thread, obj in pending:
+                    add_edge(thread, obj)
+                    append_offline(engine.size)
+            sample_offsets = range((-start) % stride, count, stride)
+            for label, mechanism in mechanisms.items():
+                sizes = mechanism.observe_batch(pending)
+                samples = chunk.samples[label]
+                for offset in sample_offsets:
+                    samples.append(sizes[offset])
+                chunk.final[label] = sizes[-1]
+                chunk.retired[label] = mechanism.retired_total
+                if offline_sizes is not None:
+                    update_stats = chunk.ratios[label].update
+                    update_sketch = chunk.sketches[label].update
+                    for size, offline_size in zip(sizes, offline_sizes):
+                        ratio = size / offline_size
+                        update_stats(ratio)
+                        update_sketch(ratio)
+            if offline_sizes is not None:
+                chunk.final[OFFLINE_LABEL] = offline_sizes[-1]
+                offline_samples = chunk.samples[OFFLINE_LABEL]
+                for offset in sample_offsets:
+                    offline_samples.append(offline_sizes[offset])
+            if clocks is not None:
+                kernel_pending.extend(pending)
+                if len(kernel_pending) >= MAX_BATCH_EVENTS:
+                    flush_stamps()
+            inserts_done += count
+            chunk.inserts += count
+            pending.clear()
+
+        def complete_chunk_batched() -> None:
+            # The chunk's frozen digest must be current, so the kernels
+            # catch up right before the boundary.
+            if clocks is not None:
+                flush_stamps()
+            complete_chunk()
+
+        cap = run_cap()
+        for shard, event in tagged:
+            raw_consumed += 1
+            if shard != shard_id:
+                continue
+            kind = event.kind
+            if kind == INSERT:
+                pending.append((event.thread, event.obj))
+                if len(pending) >= cap:
+                    flush_inserts()
+                    if (
+                        config.epoch_every is not None
+                        and inserts_done % config.epoch_every == 0
+                    ):
+                        deliver_epoch()
+                    if chunk.inserts == config.chunk_size:
+                        complete_chunk_batched()
+                        interrupt_if_due()
+                    cap = run_cap()
+                continue
+            flush_inserts()
+            if kind == EPOCH:
+                deliver_epoch()
+            else:
+                deliver_expire(event.thread, event.obj)
+            cap = run_cap()
+        # A trailing partial run (the stream ended mid-run) can never sit
+        # on a chunk/epoch boundary - those force a flush at append time.
+        flush_inserts()
+        if clocks is not None:
+            flush_stamps()
     if chunk.inserts or chunk.expires or chunk.epochs:
         complete_chunk()
     return partial

@@ -89,11 +89,21 @@ class StreamSharder:
         self.num_shards = num_shards
         self.strategy = strategy
         self._round_robin: Dict[Vertex, int] = {}
+        # Hash-strategy assignments memoised per thread: the FNV fold
+        # runs over the thread's repr, which costs more than the rest of
+        # the routing put together on million-event streams.  Purely a
+        # cache of a pure function, so the determinism contract is
+        # untouched.
+        self._hash_cache: Dict[Vertex, int] = {}
 
     def shard_of(self, thread: Vertex) -> int:
         """The shard owning ``thread`` (assigning it first, if round-robin)."""
         if self.strategy == HASH:
-            return stable_vertex_hash(thread) % self.num_shards
+            shard = self._hash_cache.get(thread)
+            if shard is None:
+                shard = stable_vertex_hash(thread) % self.num_shards
+                self._hash_cache[thread] = shard
+            return shard
         shard = self._round_robin.get(thread)
         if shard is None:
             shard = len(self._round_robin) % self.num_shards

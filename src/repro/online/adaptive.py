@@ -74,12 +74,28 @@ class WindowedPopularityMechanism(OnlineMechanism):
         When ``True`` (default) a component is retired by the expire tick
         that kills its last live event; when ``False`` dead components
         linger until the next ``end_epoch`` sweep.
+    windowed_degrees:
+        **Off by default** (the append-only revealed-graph policy of the
+        paper).  When ``True``, the per-event choice compares *windowed*
+        degree estimates instead: the number of live (non-expired) events
+        each endpoint currently participates in - the degree, with
+        multiplicity, of the endpoint in the live multigraph the
+        retirement bookkeeping already maintains.  The append-only
+        revealed graph never forgets, so under drift it keeps voting for
+        endpoints whose popularity died windows ago; the windowed counter
+        decays with the window and tracks the regime that is actually
+        live.  Registered as ``adaptive-popularity-windowed``.
     """
 
     name = "adaptive-popularity"
     window_aware = True
 
-    def __init__(self, tie_break: str = THREAD, eager: bool = True) -> None:
+    def __init__(
+        self,
+        tie_break: str = THREAD,
+        eager: bool = True,
+        windowed_degrees: bool = False,
+    ) -> None:
         super().__init__()
         if tie_break not in (THREAD, OBJECT):
             raise OnlineMechanismError(
@@ -87,13 +103,33 @@ class WindowedPopularityMechanism(OnlineMechanism):
             )
         self._tie_break = tie_break
         self._eager = eager
+        self._windowed_degrees = windowed_degrees
+        if windowed_degrees:
+            self.name = "adaptive-popularity-windowed"
         # Live events per endpoint vertex.  A vertex may only be retired
         # while its count is zero: that is the condition under which slot
         # compaction preserves every live-pair verdict.
         self._live_by_thread: Dict[Vertex, int] = {}
         self._live_by_object: Dict[Vertex, int] = {}
 
+    @property
+    def windowed_degrees(self) -> bool:
+        return self._windowed_degrees
+
     def _choose(self, thread: Vertex, obj: Vertex) -> str:
+        if self._windowed_degrees:
+            # Windowed popularity: live-event counts per endpoint (the
+            # hook _on_observe has already counted the current event, so
+            # both sides see it - mirroring how the revealed-graph policy
+            # sees the just-added edge).  Shared denominator again, so
+            # the comparison reduces to the counters.
+            thread_live = self._live_by_thread.get(thread, 0)
+            object_live = self._live_by_object.get(obj, 0)
+            if thread_live > object_live:
+                return THREAD
+            if object_live > thread_live:
+                return OBJECT
+            return self._tie_break
         # Same policy as PopularityMechanism: degrees in the revealed
         # (append-only) graph, which observe() has already updated.
         return popularity_choice(self.revealed_graph, thread, obj, self._tie_break)

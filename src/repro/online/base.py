@@ -270,6 +270,30 @@ class OnlineMechanism(abc.ABC):
         if len(self._component_order) > self._peak_size:
             self._peak_size = len(self._component_order)
 
+    def observe_batch(self, pairs) -> List[int]:
+        """Reveal a chunk of ``(thread, object)`` pairs; clock size after each.
+
+        The batched counterpart of :meth:`observe`, and the unit the
+        chunked execution pipeline feeds: one call per run of consecutive
+        inserts, with expire / epoch ticks delivered between calls so the
+        lifecycle semantics are untouched.  **Contract:** bit-identical
+        to calling :meth:`observe` once per pair, in order - same
+        decisions, same component order, same revealed graph, same
+        counters (the property-test suite asserts this for every
+        registered mechanism, including the stochastic ones).  The base
+        implementation simply loops; mechanisms with a pure per-event
+        policy (naive / popularity / hybrid) override it with a hoisted
+        inner loop that skips the per-event method dispatch.
+        """
+        observe = self.observe
+        order = self._component_order
+        sizes: List[int] = []
+        append = sizes.append
+        for thread, obj in pairs:
+            observe(thread, obj)
+            append(len(order))
+        return sizes
+
     def observe_all(self, pairs) -> "OnlineMechanism":
         """Reveal a whole sequence of ``(thread, object)`` pairs; returns ``self``."""
         for thread, obj in pairs:
@@ -325,6 +349,21 @@ class OnlineMechanism(abc.ABC):
     def decisions(self) -> Tuple[Decision, ...]:
         """The full decision log, in the order components were added."""
         return tuple(self._decisions)
+
+    @property
+    def decision_count(self) -> int:
+        """Number of component-addition decisions so far (O(1)).
+
+        The :attr:`decisions` property copies the whole log; batch
+        drivers that only need "did this chunk add components, and
+        which" snapshot this counter and read the suffix via
+        :meth:`decisions_since`.
+        """
+        return len(self._decisions)
+
+    def decisions_since(self, start: int) -> Tuple[Decision, ...]:
+        """The decisions logged at index ``start`` onwards (O(suffix))."""
+        return tuple(self._decisions[start:])
 
     @property
     def retirements(self) -> Tuple[Retirement, ...]:

@@ -45,7 +45,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.computation.streams import EventLike, as_stream_event, sliding_window
+from repro.computation.streams import (
+    EPOCH,
+    EventLike,
+    as_stream_event,
+    iter_event_batches,
+    sliding_window,
+)
 from repro.exceptions import ComputationError
 from repro.computation.trace import Computation
 from repro.graph.bipartite import BipartiteGraph, Vertex
@@ -197,6 +203,7 @@ def compare_mechanisms_on_stream(
     include_offline: bool = True,
     window: Optional[int] = None,
     epoch: Optional[int] = None,
+    batch_size: Optional[int] = None,
 ) -> Dict[str, OnlineRunResult]:
     """Run several mechanisms and the dynamic optimum over one event stream.
 
@@ -218,9 +225,18 @@ def compare_mechanisms_on_stream(
     ``"offline"`` entry when ``include_offline`` is true whose trajectory
     is the per-insert minimum-vertex-cover size of the *live* (windowed /
     non-expired) graph.
+
+    ``batch_size`` switches the consumption loop to the chunked pipeline:
+    runs of consecutive inserts (cut at lifecycle ticks, counter-epoch
+    boundaries and ``batch_size``) are fed through each mechanism's
+    :meth:`~repro.online.base.OnlineMechanism.observe_batch`.  The
+    results are bit-identical to the per-event loop (``None``, the
+    default) - batching only changes the wall-clock.
     """
     if epoch is not None and epoch < 1:
         raise ComputationError(f"epoch must be >= 1, got {epoch}")
+    if batch_size is not None and batch_size < 1:
+        raise ComputationError(f"batch_size must be >= 1, got {batch_size}")
     if window is not None:
         events = sliding_window(events, window)
     mechanisms = {label: factory() for label, factory in factories.items()}
@@ -233,30 +249,70 @@ def compare_mechanisms_on_stream(
     inserts = 0
     expires = 0
     epochs = 0
-    for item in events:
-        event = as_stream_event(item)
-        if event.is_epoch:
-            epochs += 1
-            for mechanism in mechanisms.values():
-                mechanism.end_epoch()
-        elif event.is_insert:
-            inserts += 1
-            for label, mechanism in mechanisms.items():
-                mechanism.observe(event.thread, event.obj)
-                trajectories[label].append(mechanism.clock_size)
-            if engine is not None:
-                engine.add_edge(event.thread, event.obj)
-                offline_sizes.append(engine.size)
-            if epoch is not None and inserts % epoch == 0:
-                epochs += 1
+
+    def deliver_epoch() -> None:
+        nonlocal epochs
+        epochs += 1
+        for mechanism in mechanisms.values():
+            mechanism.end_epoch()
+
+    if batch_size is not None:
+
+        def process_run(run: List[Tuple[Vertex, Vertex]]) -> None:
+            # Sub-split at counter-epoch boundaries, so epoch ticks land
+            # exactly where the per-event loop would deliver them.
+            nonlocal inserts
+            start = 0
+            while start < len(run):
+                if epoch is None:
+                    segment = run[start:]
+                else:
+                    segment = run[start:start + epoch - inserts % epoch]
+                for label, mechanism in mechanisms.items():
+                    trajectories[label].extend(mechanism.observe_batch(segment))
+                if engine is not None:
+                    add_edge = engine.add_edge
+                    append = offline_sizes.append
+                    for thread, obj in segment:
+                        add_edge(thread, obj)
+                        append(engine.size)
+                inserts += len(segment)
+                start += len(segment)
+                if epoch is not None and inserts % epoch == 0:
+                    deliver_epoch()
+
+        for item in iter_event_batches(events, batch_size):
+            if isinstance(item, list):
+                process_run([(event.thread, event.obj) for event in item])
+            elif item.kind == EPOCH:
+                deliver_epoch()
+            else:
+                expires += 1
                 for mechanism in mechanisms.values():
-                    mechanism.end_epoch()
-        else:
-            expires += 1
-            for mechanism in mechanisms.values():
-                mechanism.expire(event.thread, event.obj)
-            if engine is not None:
-                engine.remove_edge(event.thread, event.obj)
+                    mechanism.expire(item.thread, item.obj)
+                if engine is not None:
+                    engine.remove_edge(item.thread, item.obj)
+    else:
+        for item in events:
+            event = as_stream_event(item)
+            if event.is_epoch:
+                deliver_epoch()
+            elif event.is_insert:
+                inserts += 1
+                for label, mechanism in mechanisms.items():
+                    mechanism.observe(event.thread, event.obj)
+                    trajectories[label].append(mechanism.clock_size)
+                if engine is not None:
+                    engine.add_edge(event.thread, event.obj)
+                    offline_sizes.append(engine.size)
+                if epoch is not None and inserts % epoch == 0:
+                    deliver_epoch()
+            else:
+                expires += 1
+                for mechanism in mechanisms.values():
+                    mechanism.expire(event.thread, event.obj)
+                if engine is not None:
+                    engine.remove_edge(event.thread, event.obj)
     results: Dict[str, OnlineRunResult] = {}
     for label, mechanism in mechanisms.items():
         results[label] = OnlineRunResult(
