@@ -34,6 +34,12 @@ from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
+#: Version of the ``BENCH_<name>.json`` envelope.  Bumped whenever the
+#: envelope keys change shape, so the perf-trajectory collector can parse
+#: archives from different eras without sniffing.  Version 1: payload plus
+#: ``{"schema": 1, "benchmark": name, "smoke": bool}``, sorted keys.
+BENCH_SCHEMA_VERSION = 1
+
 #: True when the harness should run a fast smoke pass (see module docstring).
 SMOKE = "--smoke" in sys.argv or os.environ.get("BENCH_SMOKE", "") == "1"
 
@@ -161,12 +167,20 @@ def write_json_result(name: str, payload: dict) -> Path:
     """Persist one benchmark's numbers as ``BENCH_<name>.json``.
 
     ``payload`` should hold plain JSON-safe scalars/lists/dicts
-    (events/sec, ratios, parameter values); the envelope adds the
-    benchmark name and whether this was a smoke (throwaway-scale) run.
+    (events/sec, ratios, parameter values); the envelope adds
+    ``schema`` (:data:`BENCH_SCHEMA_VERSION`), the benchmark name and
+    whether this was a smoke (throwaway-scale) run.  Keys are emitted
+    sorted so reruns of identical numbers produce byte-identical files
+    and archived results diff cleanly.
     """
     JSON_DIR.mkdir(parents=True, exist_ok=True)
     path = JSON_DIR / f"BENCH_{name}.json"
-    document = {"benchmark": name, "smoke": SMOKE, **payload}
+    document = {
+        "schema": BENCH_SCHEMA_VERSION,
+        "benchmark": name,
+        "smoke": SMOKE,
+        **payload,
+    }
     path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
     print(f"(json results written to {path})")
     return path

@@ -59,6 +59,7 @@ from repro.engine.sharding import STRATEGIES as ENGINE_STRATEGIES
 #: installed fails with a clean gate error from the kernel layer.
 KERNEL_BACKENDS = (PYTHON_BACKEND, NUMPY_BACKEND)
 from repro.exceptions import ReproError
+from repro.lint.cli import add_lint_arguments, cmd_lint
 from repro.offline import optimal_components_for_computation
 
 #: Trace workloads by name, derived from the scenario registry (kept as a
@@ -298,6 +299,22 @@ def build_parser() -> argparse.ArgumentParser:
         "this many seconds (safe: a pruned shard is simply recomputed on "
         "the next resume)",
     )
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="static determinism & contract checks (AST-based, stdlib-only)",
+        description=(
+            "Statically enforce the repo's bit-identity invariants: "
+            "determinism rules (D1xx: hash-order set iteration, builtin "
+            "hash(), global random state, wall-clock reads, unsorted "
+            "directory listings, completion-order collection) and contract "
+            "rules (C2xx: observe_batch fallback guard, kernel backend "
+            "surface, EngineConfig signature membership, scenario seed "
+            "threading).  Exit 0 when clean or fully baselined, 1 on "
+            "active findings."
+        ),
+    )
+    add_lint_arguments(lint)
     return parser
 
 
@@ -527,6 +544,7 @@ COMMANDS = {
     "analyze": _cmd_analyze,
     "sweep": _cmd_sweep,
     "engine": _cmd_engine,
+    "lint": cmd_lint,
 }
 
 

@@ -177,7 +177,7 @@ class EngineCheckpointManager:
     def shard_files(self) -> Dict[int, Path]:
         """Existing shard checkpoint files, keyed by shard id."""
         files: Dict[int, Path] = {}
-        for path in self._directory.glob("shard-*.pickle"):
+        for path in sorted(self._directory.glob("shard-*.pickle")):
             stem = path.stem.split("-", 1)[1]
             if stem.isdigit():
                 files[int(stem)] = path
@@ -251,7 +251,7 @@ class EngineCheckpointManager:
             raise EngineError(f"max_age must be non-negative, got {max_age}")
         num_shards = int(self._signature.get("num_shards", 0))
         doomed: List[Path] = []
-        cutoff = None if max_age is None else time.time() - max_age
+        cutoff = None if max_age is None else time.time() - max_age  # repro: noqa[D104] age-based pruning is wall-clock by definition; never under the fingerprint
         for shard_id, path in self.shard_files().items():
             if not (0 <= shard_id < num_shards):
                 doomed.append(path)
@@ -262,9 +262,9 @@ class EngineCheckpointManager:
                     stale = False
                 if stale:
                     doomed.append(path)
-        for path in self._directory.glob(MANIFEST_NAME + ".*"):
+        for path in sorted(self._directory.glob(MANIFEST_NAME + ".*")):
             doomed.append(path)
-        for path in self._directory.glob("shard-*.pickle.*"):
+        for path in sorted(self._directory.glob("shard-*.pickle.*")):
             doomed.append(path)
         removed: List[Path] = []
         for path in sorted(doomed):

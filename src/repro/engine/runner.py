@@ -77,6 +77,19 @@ PIPELINES = (BATCHED, PER_EVENT)
 MAX_BATCH_EVENTS = 4096
 
 
+#: EngineConfig fields *deliberately* absent from :meth:`EngineConfig.signature`.
+#: Lint rule C203 requires every field to appear either here or as a string
+#: key inside ``signature()`` - adding a field without deciding its identity
+#: status is the ``timestamps``-in-signature class of bug from PR 5.
+NON_SIGNATURE_FIELDS = (
+    "checkpoint_dir",        # where state lives, not what is computed
+    "max_chunks_per_shard",  # an interrupted run and its resumption are the same run
+    "pipeline",              # bit-identical across pipelines by contract
+    "backend",               # bit-identical across kernel backends by contract
+    "trajectory_stride",     # identity enters via the resolved "stride" key
+)
+
+
 class EngineInterrupted(EngineError):
     """A run stopped at a chunk boundary before finishing.
 

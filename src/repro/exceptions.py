@@ -99,6 +99,15 @@ class ScenarioError(ReproError):
     """Raised by the scenario registry for unknown or conflicting scenarios."""
 
 
+class LintError(ReproError):
+    """Raised by the static lint pass for usage errors.
+
+    Covers unknown rule selectors, unreadable paths, and malformed
+    baseline files - conditions where the lint run itself cannot
+    proceed, as opposed to findings, which are ordinary results.
+    """
+
+
 class EngineError(ReproError):
     """Raised by the sharded execution engine for invalid configurations.
 

@@ -29,6 +29,17 @@ Vertex = Hashable
 Edge = Tuple[Vertex, Vertex]
 
 
+def vertex_sort_key(vertex: Vertex) -> Tuple[str, str]:
+    """Canonical sort key for vertices of arbitrary (mixed) types.
+
+    ``(type name, repr)`` totally orders any hashable vertices without
+    relying on ``hash()`` or cross-type ``<`` support - the same
+    canonicalisation :func:`repro.seeds.canonical_bytes` uses, so every
+    layer that needs "some deterministic vertex order" agrees on one.
+    """
+    return (type(vertex).__name__, repr(vertex))
+
+
 class BipartiteGraph:
     """An undirected bipartite graph with *thread* (left) and *object* (right) sides.
 
@@ -254,14 +265,18 @@ class BipartiteGraph:
         self, threads: Iterable[Vertex], objects: Iterable[Vertex]
     ) -> "BipartiteGraph":
         """Return the subgraph induced by the given thread and object subsets."""
-        thread_set = set(threads)
-        object_set = set(objects)
-        unknown = (thread_set - self.threads) | (object_set - self.objects)
+        # Sorted canonically so the subgraph's internal insertion order
+        # (which downstream edge iteration inherits) is independent of
+        # PYTHONHASHSEED even when callers pass sets.
+        thread_list = sorted(set(threads), key=vertex_sort_key)
+        object_list = sorted(set(objects), key=vertex_sort_key)
+        object_set = set(object_list)
+        unknown = (set(thread_list) - self.threads) | (object_set - self.objects)
         if unknown:
-            raise UnknownVertexError(next(iter(unknown)))
-        sub = BipartiteGraph(threads=thread_set, objects=object_set)
-        for t in thread_set:
-            for o in self._thread_adj[t] & object_set:
+            raise UnknownVertexError(min(unknown, key=vertex_sort_key))
+        sub = BipartiteGraph(threads=thread_list, objects=object_list)
+        for t in thread_list:
+            for o in sorted(self._thread_adj[t] & object_set, key=vertex_sort_key):
                 sub.add_edge(t, o)
         return sub
 

@@ -112,8 +112,13 @@ def uniform_bipartite(
     _check_probability(density, "density")
     rng = _rng(seed)
     graph = BipartiteGraph(threads=thread_names(num_threads), objects=object_names(num_objects))
-    for t in graph.threads:
-        for o in graph.objects:
+    # Iterate the ordered name lists, not graph.threads/graph.objects:
+    # those are frozensets, and consuming one rng.random() draw per pair
+    # in hash order made the generated graph for a fixed seed depend on
+    # PYTHONHASHSEED (caught by lint rule D101's class of bug; the other
+    # families below always iterated the ordered lists).
+    for t in thread_names(num_threads):
+        for o in object_names(num_objects):
             if rng.random() < density:
                 graph.add_edge(t, o)
     return graph

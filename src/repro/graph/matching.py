@@ -33,7 +33,7 @@ from itertools import combinations
 from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Set, Tuple
 
 from repro.exceptions import MatchingError
-from repro.graph.bipartite import BipartiteGraph, Edge, Vertex
+from repro.graph.bipartite import BipartiteGraph, Edge, Vertex, vertex_sort_key
 
 _INFINITY = float("inf")
 
@@ -343,7 +343,11 @@ def brute_force_matching(graph: BipartiteGraph, max_edges: int = 20) -> Matching
     :class:`MatchingError` if the graph has more than ``max_edges`` edges,
     as a guard against accidental exponential blow-ups in tests.
     """
-    edges = list(graph.edges())
+    # Canonically sorted so which maximum matching the enumeration finds
+    # first (among equally sized ones) is stable across processes.
+    edges = sorted(
+        graph.edges(), key=lambda e: (vertex_sort_key(e[0]), vertex_sort_key(e[1]))
+    )
     if len(edges) > max_edges:
         raise MatchingError(
             f"brute_force_matching limited to {max_edges} edges, "

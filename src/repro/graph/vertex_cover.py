@@ -22,7 +22,7 @@ from itertools import combinations
 from typing import FrozenSet, Iterable, Optional, Set
 
 from repro.exceptions import VertexCoverError
-from repro.graph.bipartite import BipartiteGraph, Vertex
+from repro.graph.bipartite import BipartiteGraph, Vertex, vertex_sort_key
 from repro.graph.matching import Matching, maximum_matching, validate_matching
 
 
@@ -118,7 +118,10 @@ def validate_vertex_cover(graph: BipartiteGraph, cover: Iterable[Vertex]) -> Non
             )
     unknown = cover_set - set(graph.threads) - set(graph.objects)
     if unknown:
-        raise VertexCoverError(f"cover contains unknown vertices: {unknown!r}")
+        raise VertexCoverError(
+            "cover contains unknown vertices: "
+            f"{sorted(map(repr, unknown))}"
+        )
 
 
 def brute_force_vertex_cover(
@@ -129,7 +132,9 @@ def brute_force_vertex_cover(
     Raises :class:`VertexCoverError` if the graph has more than
     ``max_vertices`` vertices.
     """
-    vertices = list(graph.threads | graph.objects)
+    # Canonically sorted so which minimum cover the enumeration finds
+    # first (among equal-size covers) is stable across processes.
+    vertices = sorted(graph.threads | graph.objects, key=vertex_sort_key)
     if len(vertices) > max_vertices:
         raise VertexCoverError(
             f"brute_force_vertex_cover limited to {max_vertices} vertices, "

@@ -1,0 +1,128 @@
+"""Baseline files: accepted pre-existing findings, burned down over time.
+
+A baseline entry matches findings by ``(rule, path, message)`` - line
+numbers are deliberately excluded so unrelated edits that shift code do
+not churn the file.  Each entry carries a ``count`` (how many identical
+findings it covers in that file) and a one-line ``justification`` saying
+why the finding is benign; an entry without a real justification is a
+review smell, which is the point.
+
+The file is JSON with sorted keys and sorted entries, so regenerating it
+is deterministic and diffs are minimal.  Two failure modes are surfaced
+rather than hidden:
+
+* a finding *not* covered by the baseline is an active finding (exit 1);
+* an entry that no longer matches anything is *stale* and reported as a
+  warning, so the baseline shrinks as findings are fixed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.exceptions import LintError
+from repro.lint.engine import Finding
+
+#: Format version of the baseline file itself.
+BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    message: str
+    count: int
+    justification: str
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        return (self.rule, self.path, self.message)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "message": self.message,
+            "count": self.count,
+            "justification": self.justification,
+        }
+
+
+def load_baseline(path: Path) -> List[BaselineEntry]:
+    """Parse a baseline file; malformed content raises :class:`LintError`."""
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as error:
+        raise LintError(f"cannot read baseline {path}: {error}")
+    except json.JSONDecodeError as error:
+        raise LintError(f"baseline {path} is not valid JSON: {error}")
+    if not isinstance(document, dict) or document.get("version") != BASELINE_VERSION:
+        raise LintError(
+            f"baseline {path} must be an object with 'version': {BASELINE_VERSION}"
+        )
+    entries = []
+    for index, raw in enumerate(document.get("entries", [])):
+        try:
+            entries.append(
+                BaselineEntry(
+                    rule=str(raw["rule"]),
+                    path=str(raw["path"]),
+                    message=str(raw["message"]),
+                    count=int(raw.get("count", 1)),
+                    justification=str(raw.get("justification", "")),
+                )
+            )
+        except (TypeError, KeyError) as error:
+            raise LintError(
+                f"baseline {path} entry {index} is malformed (missing {error})"
+            )
+    return entries
+
+
+def apply_baseline(
+    findings: Sequence[Finding], entries: Sequence[BaselineEntry]
+) -> Tuple[List[Finding], List[Finding], List[BaselineEntry]]:
+    """Split findings into (active, suppressed) and report stale entries.
+
+    Each entry absorbs up to ``count`` findings with its key; extra
+    findings beyond the count stay active (a regression that *adds* an
+    occurrence of a baselined pattern still fails).  Entries left with
+    unused capacity equal to their full count are stale.
+    """
+    budget: Dict[Tuple[str, str, str], int] = {}
+    for entry in entries:
+        budget[entry.key] = budget.get(entry.key, 0) + entry.count
+    consumed: Dict[Tuple[str, str, str], int] = {}
+    active: List[Finding] = []
+    suppressed: List[Finding] = []
+    for finding in findings:
+        if budget.get(finding.key, 0) > 0:
+            budget[finding.key] -= 1
+            consumed[finding.key] = consumed.get(finding.key, 0) + 1
+            suppressed.append(finding)
+        else:
+            active.append(finding)
+    stale = [entry for entry in entries if consumed.get(entry.key, 0) == 0]
+    return active, suppressed, stale
+
+
+def render_baseline(
+    findings: Sequence[Finding], justification: str = "TODO: justify or fix"
+) -> str:
+    """Serialise ``findings`` as a fresh baseline document (sorted, stable)."""
+    counts: Dict[Tuple[str, str, str], int] = {}
+    for finding in findings:
+        counts[finding.key] = counts.get(finding.key, 0) + 1
+    entries = [
+        BaselineEntry(
+            rule=rule, path=path, message=message, count=count,
+            justification=justification,
+        ).to_json()
+        for (rule, path, message), count in sorted(counts.items())
+    ]
+    document = {"version": BASELINE_VERSION, "entries": entries}
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"

@@ -1,0 +1,293 @@
+"""Contract-conformance rules (``C2xx``): this repo's protocols, enforced.
+
+Where the ``D1xx`` family guards against generic Python nondeterminism,
+these rules encode agreements specific to this codebase - each one the
+static form of a contract that already has a dynamic enforcement story
+(property tests, fingerprint checks) and a history of being easy to
+violate silently:
+
+* ``C201`` - the hoisted ``observe_batch`` fast path must keep the
+  ``super()`` fallback guard, or subclass hook overrides are silently
+  skipped in batched runs (bit-identity between pipelines breaks);
+* ``C202`` - a kernel backend must override the *whole* bit-identity
+  surface or none of it, or batches mix backends mid-run;
+* ``C203`` - every ``EngineConfig`` field needs an explicit decision
+  about run-signature membership (the ``timestamps``-in-signature class
+  of bug from PR 5);
+* ``C204`` - a scenario factory that accepts a seed must consume it, or
+  two differently-seeded runs silently produce the same stream.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set
+
+from repro.lint.engine import FileContext, Finding, Rule
+
+#: The kernel-backend methods that must agree bit-for-bit across backends.
+KERNEL_SURFACE = ("advance_batch", "timestamp_batch")
+
+
+def _finding(ctx: FileContext, node: ast.AST, rule: Rule, message: str) -> Finding:
+    return Finding(
+        path=ctx.path,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0),
+        rule=rule.id,
+        message=message,
+    )
+
+
+def _base_names(classdef: ast.ClassDef, ctx: FileContext) -> List[str]:
+    """Last dotted segment of each base (``repro.x.Foo`` -> ``Foo``)."""
+    names = []
+    for base in classdef.bases:
+        dotted = ctx.dotted_name(base)
+        if dotted is not None:
+            names.append(dotted.rsplit(".", 1)[-1])
+    return names
+
+
+def _methods(classdef: ast.ClassDef) -> dict:
+    return {
+        node.name: node
+        for node in classdef.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+class MechanismBatchGuardRule(Rule):
+    """A hoisted ``observe_batch`` must keep its ``super()`` fallback guard.
+
+    ``OnlineMechanism.observe_batch`` promises bit-identity with the
+    per-event ``observe`` loop.  Mechanisms that hoist the loop for speed
+    (popularity, naive, hybrid) keep that promise for *subclasses* with a
+    runtime guard: if the concrete class overrides ``observe``,
+    ``_choose`` or ``_on_observe``, the hoisted body would skip those
+    hooks, so the guard routes back to ``super().observe_batch(pairs)``
+    (the faithful loop).  Dropping the guard is invisible in tests of the
+    class itself and only breaks when someone later subclasses it - the
+    worst kind of contract violation.
+
+    The rule requires every ``observe_batch`` override in an
+    ``*Mechanism`` subclass to call ``super().observe_batch(...)``
+    somewhere in its body.  A batch implementation that is correct for
+    every possible subclass can ``noqa`` with its reasoning.
+    """
+
+    id = "C201"
+    name = "mechanism-batch-guard"
+    summary = "observe_batch override lacks the super() fallback guard"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not any(name.endswith("Mechanism") for name in _base_names(node, ctx)):
+                continue
+            batch = _methods(node).get("observe_batch")
+            if batch is None:
+                continue
+            if not self._calls_super_observe_batch(batch):
+                yield _finding(
+                    ctx,
+                    batch,
+                    self,
+                    f"{node.name}.observe_batch hoists the event loop without "
+                    "a super().observe_batch(...) fallback; subclass hook "
+                    "overrides would be silently skipped in batched runs",
+                )
+
+    @staticmethod
+    def _calls_super_observe_batch(method: ast.AST) -> bool:
+        for node in ast.walk(method):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "observe_batch"
+                and isinstance(node.func.value, ast.Call)
+                and isinstance(node.func.value.func, ast.Name)
+                and node.func.value.func.id == "super"
+            ):
+                return True
+        return False
+
+
+class KernelSurfaceRule(Rule):
+    """A kernel backend must cover the whole bit-identity surface.
+
+    ``KernelBackend`` strategies promise that ``advance_batch`` and
+    ``timestamp_batch`` produce byte-identical results across backends -
+    the property tests compare them pairwise.  A subclass overriding only
+    one of the two runs half its batches through the parent backend: the
+    mixed implementation can pass single-method tests while its two
+    halves disagree about internal layout (e.g. a vectorised
+    ``advance_batch`` updating arrays the inherited ``timestamp_batch``
+    never reads).
+
+    The rule requires an ``*KernelBackend`` subclass to override both
+    surface methods or neither.  Intentional partial specialisations
+    (e.g. overriding only ``name`` or checkpoint behaviour) are
+    untouched; a genuinely safe half-override can ``noqa`` with the
+    invariant that makes it safe.
+    """
+
+    id = "C202"
+    name = "kernel-backend-surface"
+    summary = "KernelBackend subclass overrides only part of the bit-identity surface"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not any(
+                name.endswith("KernelBackend") for name in _base_names(node, ctx)
+            ):
+                continue
+            overridden = [m for m in KERNEL_SURFACE if m in _methods(node)]
+            if overridden and len(overridden) < len(KERNEL_SURFACE):
+                missing = [m for m in KERNEL_SURFACE if m not in overridden]
+                yield _finding(
+                    ctx,
+                    node,
+                    self,
+                    f"{node.name} overrides {', '.join(overridden)} but not "
+                    f"{', '.join(missing)}; the bit-identity surface "
+                    f"({', '.join(KERNEL_SURFACE)}) must be overridden "
+                    "together or not at all",
+                )
+
+
+class EngineConfigSignatureRule(Rule):
+    """Every ``EngineConfig`` field needs a signature-membership decision.
+
+    ``EngineConfig.signature()`` defines a run's identity: checkpoints
+    resume only when signatures match, and the fingerprint is a pure
+    function of it.  A new field silently changes that calculus in one
+    of two wrong ways - included when it is an execution knob
+    (``timestamps`` landing in the signature in PR 5 made identical runs
+    look different), or omitted when it shapes results (two different
+    runs would share checkpoints and corrupt resume).
+
+    The rule forces the decision to be written down: each dataclass
+    field's name must appear either as a string literal inside
+    ``signature()`` (identity) or in the module's
+    ``NON_SIGNATURE_FIELDS`` tuple (explicitly excluded, with the
+    reasoning kept next to that tuple).  Fields that enter the signature
+    under a derived key (``trajectory_stride`` -> ``"stride"``) are
+    listed in ``NON_SIGNATURE_FIELDS`` with a comment saying so.
+    """
+
+    id = "C203"
+    name = "engine-config-signature"
+    summary = "EngineConfig field with no signature-membership decision"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef) or node.name != "EngineConfig":
+                continue
+            fields = [
+                stmt.target.id
+                for stmt in node.body
+                if isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+                and "ClassVar" not in ast.dump(stmt.annotation)
+            ]
+            decided: Set[str] = set()
+            signature = _methods(node).get("signature")
+            if signature is not None:
+                decided.update(_string_constants(signature))
+            decided.update(_declared_exclusions(ctx.tree))
+            for name in fields:
+                if name not in decided:
+                    yield _finding(
+                        ctx,
+                        node,
+                        self,
+                        f"EngineConfig field '{name}' is neither named in "
+                        "signature() nor declared in NON_SIGNATURE_FIELDS; "
+                        "decide whether it is part of the run's identity",
+                    )
+
+
+def _string_constants(node: ast.AST) -> Set[str]:
+    return {
+        child.value
+        for child in ast.walk(node)
+        if isinstance(child, ast.Constant) and isinstance(child.value, str)
+    }
+
+
+def _declared_exclusions(tree: ast.AST) -> Set[str]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and any(
+            isinstance(target, ast.Name) and target.id == "NON_SIGNATURE_FIELDS"
+            for target in node.targets
+        ):
+            return _string_constants(node.value)
+    return set()
+
+
+class ScenarioSeedRule(Rule):
+    """A ``@register_scenario`` factory must consume the seed it accepts.
+
+    Scenario factories receive the run's root seed and are expected to
+    thread it into :func:`repro.seeds.derive_seed` (or an explicit
+    ``random.Random(seed)``).  A factory that accepts ``seed`` and never
+    reads it produces the *same* stream for every seed - sweeps quietly
+    average one sample, and "change the seed" stops being a valid
+    reproducibility check.  This is statically detectable: the parameter
+    name appears nowhere in the function body.
+
+    A constant scenario (e.g. a fixed worked example from the paper)
+    should drop the parameter or ``noqa`` with a note that constancy is
+    the point.
+    """
+
+    id = "C204"
+    name = "scenario-unused-seed"
+    summary = "@register_scenario factory accepts a seed it never uses"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not self._is_scenario_factory(node, ctx):
+                continue
+            params = [arg.arg for arg in node.args.args + node.args.kwonlyargs]
+            if "seed" not in params:
+                continue
+            used = any(
+                isinstance(child, ast.Name)
+                and child.id == "seed"
+                and isinstance(child.ctx, ast.Load)
+                for stmt in node.body
+                for child in ast.walk(stmt)
+            )
+            if not used:
+                yield _finding(
+                    ctx,
+                    node,
+                    self,
+                    f"scenario factory '{node.name}' accepts 'seed' but never "
+                    "uses it; thread it through repro.seeds.derive_seed or "
+                    "drop the parameter",
+                )
+
+    @staticmethod
+    def _is_scenario_factory(node: ast.AST, ctx: FileContext) -> bool:
+        for decorator in node.decorator_list:  # type: ignore[attr-defined]
+            target = decorator.func if isinstance(decorator, ast.Call) else decorator
+            dotted = ctx.dotted_name(target)
+            if dotted is not None and dotted.rsplit(".", 1)[-1] == "register_scenario":
+                return True
+        return False
+
+
+CONTRACT_RULES = (
+    MechanismBatchGuardRule,
+    KernelSurfaceRule,
+    EngineConfigSignatureRule,
+    ScenarioSeedRule,
+)

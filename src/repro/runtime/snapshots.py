@@ -45,7 +45,7 @@ def is_consistent_cut(computation: Computation, events: Iterable[Event]) -> bool
     building the transitive closure.
     """
     cut: Set[Event] = set(events)
-    for event in cut:
+    for event in cut:  # repro: noqa[D101] pure all-quantified membership test; the verdict is order-independent
         for predecessor in computation.immediate_predecessors(event):
             if predecessor not in cut:
                 return False
