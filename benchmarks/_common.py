@@ -21,14 +21,18 @@ via :func:`write_json_result`, which writes ``BENCH_<name>.json`` next to
 the text tables under ``benchmarks/results`` - or under the directory
 given by ``--json PATH`` (or the ``BENCH_JSON`` environment variable),
 so CI can archive the perf trajectory as artifacts.  Each file carries
-the payload plus ``{"benchmark": name, "smoke": bool}`` so a collector
-can tell throwaway smoke numbers from real ones.
+the payload plus ``{"benchmark": name, "smoke": bool}`` and an
+``environment`` block (kernel backend, numpy version or null, Python
+version, CPU count) so a collector can tell throwaway smoke numbers
+from real ones and attribute rate shifts across PRs to hardware or
+backend changes instead of code.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import platform
 import sys
 from pathlib import Path
 
@@ -38,7 +42,8 @@ RESULTS_DIR = Path(__file__).parent / "results"
 #: envelope keys change shape, so the perf-trajectory collector can parse
 #: archives from different eras without sniffing.  Version 1: payload plus
 #: ``{"schema": 1, "benchmark": name, "smoke": bool}``, sorted keys.
-BENCH_SCHEMA_VERSION = 1
+#: Version 2 adds the ``environment`` block (see :func:`bench_environment`).
+BENCH_SCHEMA_VERSION = 2
 
 #: True when the harness should run a fast smoke pass (see module docstring).
 SMOKE = "--smoke" in sys.argv or os.environ.get("BENCH_SMOKE", "") == "1"
@@ -163,13 +168,41 @@ def write_result(name: str, text: str) -> Path:
     return path
 
 
+def bench_environment() -> dict:
+    """The attribution block stamped into every ``BENCH_<name>.json``.
+
+    A rate that moves between two PRs means nothing until the runs are
+    known to share a backend and a machine class; this block records the
+    variables that historically explained phantom regressions: the
+    process-wide kernel backend selection, the numpy version (or null
+    when the accelerator is absent - the python fallback's numbers are
+    not comparable to the numpy path's), the interpreter version, and
+    the CPU count (``--jobs`` speedups are meaningless on one core).
+    """
+    try:
+        import numpy
+
+        numpy_version = numpy.__version__
+    except ImportError:
+        numpy_version = None
+    from repro.core.kernel import default_backend_name
+
+    return {
+        "backend": default_backend_name(),
+        "numpy_version": numpy_version,
+        "python_version": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
 def write_json_result(name: str, payload: dict) -> Path:
     """Persist one benchmark's numbers as ``BENCH_<name>.json``.
 
     ``payload`` should hold plain JSON-safe scalars/lists/dicts
     (events/sec, ratios, parameter values); the envelope adds
-    ``schema`` (:data:`BENCH_SCHEMA_VERSION`), the benchmark name and
-    whether this was a smoke (throwaway-scale) run.  Keys are emitted
+    ``schema`` (:data:`BENCH_SCHEMA_VERSION`), the benchmark name,
+    whether this was a smoke (throwaway-scale) run, and the
+    :func:`bench_environment` attribution block.  Keys are emitted
     sorted so reruns of identical numbers produce byte-identical files
     and archived results diff cleanly.
     """
@@ -179,6 +212,7 @@ def write_json_result(name: str, payload: dict) -> Path:
         "schema": BENCH_SCHEMA_VERSION,
         "benchmark": name,
         "smoke": SMOKE,
+        "environment": bench_environment(),
         **payload,
     }
     path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")

@@ -20,12 +20,14 @@ Assertions, in CI via ``--smoke``:
   timestamps;
 * the chunked pipeline is never slower than per-event dispatch;
 * with the numpy backend available, the chunked pipeline clears the
-  acceptance bar: **>= 2x events/sec over the per-event path**.  The
-  pure-Python chunked pipeline alone does not reach 2x on this
-  merge-heavy stream (random thread/object pairing defeats the
-  slot-delta fast paths; an O(k) element-wise max per event remains),
-  which is exactly why the numpy backend exists and why it is gated
-  rather than required.
+  acceptance bar: **>= 5x events/sec over the per-event path** at full
+  scale (>= 3x under ``--smoke``, where the 100k-event stream leaves
+  the resident-array cache less warm-up to amortise).  The pure-Python
+  chunked pipeline alone does not reach that on this merge-heavy
+  stream (random thread/object pairing defeats the slot-delta fast
+  paths; an O(k) element-wise max per event remains), which is exactly
+  why the numpy backend exists and why it is gated rather than
+  required.
 
 A second test crosses ``{per-event, batched} x {python, numpy} x
 --jobs {1, N}`` on a small engine run (offline optimum and sliding
@@ -49,6 +51,7 @@ from _common import (
     PIPELINE_MATRIX_EVENTS,
     PIPELINE_MATRIX_JOBS,
     PIPELINE_NODES,
+    SMOKE,
 )
 
 #: The mechanism labels of the head-to-head: the paper's deterministic
@@ -57,7 +60,11 @@ from _common import (
 MECHANISMS = ("naive", "popularity", "hybrid")
 
 #: The acceptance bar (chunked vs per-event, best available backend).
-SPEEDUP_BAR = 2.0
+#: Full scale is the resident-array target; the smoke stream is 12x
+#: shorter, so the cross-batch cache amortises less warm-up and the bar
+#: is correspondingly lower (measured ~5x smoke / ~6x full on an
+#: unloaded core; the slack absorbs shared-CI scheduling noise).
+SPEEDUP_BAR = 3.0 if SMOKE else 5.0
 
 BASE = dict(
     scenario="thread-churn",
@@ -131,8 +138,9 @@ def test_batched_pipeline_speedup(benchmark, record_table, record_json):
     best_backend, best_rate = max(chunked_rates.items(), key=lambda kv: kv[1])
 
     # The chunked pipeline must at least match per-event dispatch (0.95
-    # allows scheduler noise on shared CI cores; measured ~1.2-1.3x), and
-    # with the numpy backend available it must clear the acceptance bar.
+    # allows scheduler noise on shared CI cores; measured ~1.4x with the
+    # run-chunked sharder), and with the numpy backend available it must
+    # clear the acceptance bar.
     assert chunked_rates["python"] >= per_event_rate * 0.95, (
         f"chunked python pipeline slower than per-event: "
         f"{chunked_rates['python']:,.0f} vs {per_event_rate:,.0f} events/s"
@@ -164,7 +172,8 @@ def test_batched_pipeline_speedup(benchmark, record_table, record_json):
     if not numpy_available():
         lines.append(
             "\n(numpy not installed: the gated backend is unavailable and "
-            "the >=2x acceptance assertion is deferred to the numpy CI job)"
+            f"the >={SPEEDUP_BAR}x acceptance assertion is deferred to the "
+            "numpy CI job)"
         )
     record_table("batched_pipeline", "\n".join(lines))
     record_json(

@@ -49,13 +49,29 @@ supplied by a pluggable :class:`KernelBackend`:
   incremented slots bumped, skipping the ``O(k)`` Python-level
   element-wise maximum entirely;
 * ``numpy`` (:class:`NumpyKernelBackend`, **gated**: selectable only
-  when numpy imports, never required) - working vectors live as
-  ``int64`` arrays for the duration of the batch, so the merge is a
-  single C call (``np.maximum``); arrays are converted back to exact
-  Python-int tuples at the batch boundary, which keeps every minted
-  timestamp - and therefore every causal verdict - bit-identical to the
-  pure-Python derivation.  The property-test suite asserts that
+  when numpy imports, never required) - working vectors are *resident*
+  ``int64`` arrays that persist across batches in an
+  :class:`_ArrayCache` hung off the kernel, so the merge is a single C
+  call (``np.maximum``) and a touched entity is converted from tuple
+  form at most once per epoch, not once per batch; minted stamps are
+  lazy :class:`_ArrayStamp` handles that materialise an exact
+  Python-int tuple only on first ``_values`` access, so digest-only
+  drivers (the engine's ``timestamps`` mode, the ``advance_batch``
+  fold paths, which read their slot values straight off the resident
+  arrays) never pay tuple construction at all.  Every materialised
+  timestamp - and therefore every causal verdict - is bit-identical to
+  the pure-Python derivation; the property-test suite asserts that
   identity on random computations.
+
+Cache coherence is a *contract*, not a convention: any
+:class:`ClockKernel` method that mutates component layout or clock
+values must call an invalidation hook
+(:meth:`ClockKernel._invalidate_cache` / :meth:`ClockKernel._cache_evict`,
+or assign ``self._cache`` directly) or be listed in
+:data:`CACHE_SAFE_METHODS` with its justification.  Lint rule C205
+enforces this statically; the hypothesis suite asserts cached/uncached
+bit-identity across the invalidation edges (component extension, epoch
+rotation, checkpoint/resume, backend switches).
 
 Backend selection: an explicit argument to :class:`ClockKernel` wins,
 then :func:`set_default_backend`, then the ``REPRO_KERNEL_BACKEND``
@@ -81,6 +97,25 @@ except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
 #: Backend names.
 PYTHON_BACKEND = "python"
 NUMPY_BACKEND = "numpy"
+
+#: :class:`ClockKernel` methods that touch component layout or clock
+#: values but are exempt from lint rule C205's invalidation-hook
+#: requirement, each with the reason the resident-array cache stays
+#: coherent without a hook.  Keep the justifications current: the lint
+#: rule only checks membership, reviewers check the reasoning.
+CACHE_SAFE_METHODS = (
+    # Component growth is pure append (ClockComponents.extended keeps old
+    # threads a prefix of the thread block and old objects a prefix of the
+    # object block), so cached arrays stay valid under the deferred
+    # pad-on-read transform _ArrayCache.sync applies at the next batch;
+    # nothing to invalidate.  The non-append defensive path invalidates
+    # inside _rebase_stamps.
+    "extend_components",
+    # Rebinds the slot maps / zero stamp to a component set; it mutates no
+    # clock values itself, and every mutating caller (rotate_epoch,
+    # extend_components via _rebase_stamps) owns its cache decision.
+    "_bind_components",
+)
 
 #: 64-bit mixing constants of the stamp-digest fold (FNV prime / Knuth).
 _FOLD_MASK = (1 << 64) - 1
@@ -175,6 +210,15 @@ class PythonKernelBackend(KernelBackend):
         # anyway, so the minted stamps themselves are the working state:
         # this is observe() with the attribute lookups hoisted out of the
         # loop and the slot-delta fast paths applied to the tuples.
+        #
+        # Cache coherence (C205): this loop replaces stamps without going
+        # through the resident-array cache, so any cached vectors for the
+        # touched endpoints go stale - evict them up front.  When the
+        # kernel never ran an array batch the cache is None and this is a
+        # single attribute load.
+        cache = kernel._cache
+        if cache is not None:
+            cache.evict_pairs(pairs)
         components = kernel._components
         size = components.size
         thread_slots = kernel._thread_slot
@@ -228,6 +272,13 @@ class PythonKernelBackend(KernelBackend):
         # for the touched entities are materialised once at the batch
         # boundary, preserving the thread/object stamp *sharing* the
         # per-event fast path depends on.
+        #
+        # Cache coherence (C205): same up-front eviction as
+        # timestamp_batch - this loop's write-back bypasses the
+        # resident-array cache.
+        cache = kernel._cache
+        if cache is not None:
+            cache.evict_pairs(pairs)
         components = kernel._components
         size = components.size
         thread_slots = kernel._thread_slot
@@ -349,39 +400,209 @@ def _write_back_lists(components, thread_work, object_work,
         object_stamps[vertex] = stamp
 
 
-class NumpyKernelBackend(KernelBackend):
-    """The gated numpy batch loop: array-resident clocks, C-speed merge.
+class _ArrayCache:
+    """Cross-batch resident ``int64`` working vectors of one kernel.
 
-    Working vectors are ``int64`` arrays for the duration of the batch
-    (one conversion per *touched entity*, amortised over the batch, not
-    one per event) and the element-wise maximum is a single ``np.maximum``
-    call.  Values re-enter the immutable :class:`Timestamp` world through
-    ``tolist()``, which restores exact Python ints - verdict bit-identity
-    with the python backend is asserted by the property tests.
+    Maps touched threads/objects to the array holding their current
+    clock, so consecutive batches re-enter the numpy inner loop with a
+    dict lookup instead of a tuple-to-array conversion per touched
+    entity.  One *layout tag* (``born_threads``, ``born_size``) covers
+    every stored array: arrays only enter the cache at write-back, which
+    always happens right after :meth:`sync`, so they all share the
+    layout the kernel had at that moment.
+
+    Component growth is **deferred pad-on-read**: ``extend_components``
+    does not touch the cache (see :data:`CACHE_SAFE_METHODS`); the next
+    batch's :meth:`sync` notices the layout drift - two integer
+    compares on the hot path - and simply forgets the stale arrays.
+    Entities actually touched afterwards are rebuilt lazily, one pad
+    each, straight from their :class:`_ArrayStamp` handle's resident
+    array (see :func:`_handle_array`); entities never touched again
+    cost nothing, which is what makes warm-up growth (an extension
+    every few events while the cover assembles) near-free.  Because
+    :meth:`ClockComponents.extended` is pure append (old threads stay a
+    prefix of the thread block, old objects a prefix of the object
+    block, across any number of compositions), the pad is two slice
+    copies parameterised only by the birth and current layouts.
+
+    Coherence with the kernel's stamp dicts is the C205 contract: every
+    mutation of clock values outside the numpy write-back must evict the
+    touched entries (:meth:`evict`/:meth:`evict_pairs`) or drop the
+    cache wholesale (``kernel._cache = None``).  Arrays in the cache are
+    never mutated in place - the inner loop derives a *fresh* array
+    before incrementing - so eviction is about staleness, not aliasing.
+    """
+
+    __slots__ = ("threads", "objects", "born_threads", "born_size")
+
+    def __init__(self, components: ClockComponents) -> None:
+        self.threads: Dict[Vertex, object] = {}
+        self.objects: Dict[Vertex, object] = {}
+        self.born_threads = len(components.thread_components)
+        self.born_size = components.size
+
+    def sync(self, components: ClockComponents) -> None:
+        """Reconcile the cache with ``components``' layout if it grew.
+
+        Stale arrays are dropped, not padded: the stamp handles keep the
+        resident vectors alive, and :func:`_handle_array` rebuilds a
+        touched entity's entry with one lazy pad on its next read.  Two
+        integer compares when nothing changed - the hot-path cost.
+        """
+        new_threads = len(components.thread_components)
+        new_size = components.size
+        if new_size == self.born_size and new_threads == self.born_threads:
+            return
+        self.threads.clear()
+        self.objects.clear()
+        self.born_threads = new_threads
+        self.born_size = new_size
+
+    def evict(self, thread: Vertex, obj: Vertex) -> None:
+        """Forget one event's endpoints (their stamps changed elsewhere)."""
+        self.threads.pop(thread, None)
+        self.objects.pop(obj, None)
+
+    def evict_pairs(self, pairs: Sequence[Tuple[Vertex, Vertex]]) -> None:
+        """Forget every endpoint of ``pairs`` ahead of a non-array batch."""
+        threads = self.threads
+        objects = self.objects
+        for thread, obj in pairs:
+            threads.pop(thread, None)
+            objects.pop(obj, None)
+
+
+class _ArrayStamp(Timestamp):
+    """A lazily materialised :class:`Timestamp` over a resident array.
+
+    The numpy write-back stores these handles in the kernel's stamp
+    dicts (and returns them from ``timestamp_batch``) instead of eagerly
+    converting every touched vector back to a Python tuple.  The handle
+    *is* a ``Timestamp`` - same comparisons, same accessors - but its
+    ``_values`` tuple is built on first attribute access, so digest-only
+    drivers that never look at a stamp's values never pay ``tolist()``
+    or tuple construction.
+
+    The wrapped array is never mutated (the inner loop always derives a
+    fresh array before incrementing), so materialisation is stable.  A
+    handle can outlive component growth: ``_born_threads`` plus the
+    array's length record the append-only layout it was minted under,
+    and materialisation zero-pads into the handle's component set - the
+    same identity-preserving transform ``rebase_timestamp`` implements
+    slot by slot.  Handles pickle (and deepcopy) as plain eagerly
+    materialised ``Timestamp`` objects, so checkpoints stay loadable on
+    numpy-less hosts.
+    """
+
+    __slots__ = ("_array", "_born_threads")
+
+    @classmethod
+    def _make(
+        cls, components: ClockComponents, array: object, born_threads: int
+    ) -> "_ArrayStamp":
+        stamp = object.__new__(cls)
+        stamp._components = components
+        stamp._array = array
+        stamp._born_threads = born_threads
+        return stamp
+
+    def __getattr__(self, name: str):
+        # Only the _values slot is lazy; anything else genuinely absent.
+        if name != "_values":
+            raise AttributeError(name)
+        components = self._components
+        raw = self._array.tolist()
+        born_threads = self._born_threads
+        threads = len(components.thread_components)
+        size = components.size
+        if threads == born_threads and size == len(raw):
+            values = tuple(raw)
+        else:
+            values = (
+                tuple(raw[:born_threads])
+                + (0,) * (threads - born_threads)
+                + tuple(raw[born_threads:])
+                + (0,) * (size - threads - (len(raw) - born_threads))
+            )
+        self._values = values
+        return values
+
+    def __reduce__(self):
+        # Checkpoints must stay loadable on numpy-less hosts, so a handle
+        # serialises as the plain materialised Timestamp it stands for.
+        return (Timestamp._from_trusted, (self._components, self._values))
+
+
+def _handle_array(stamp: "_ArrayStamp", threads: int, size: int):
+    """A ``(threads, size)``-layout ``int64`` array of ``stamp``'s values.
+
+    The array-path fast lane of a cache miss: instead of materialising
+    the handle's tuple and re-converting, the resident array is reused
+    directly when the layout matches, or zero-padded with two slice
+    copies when components were appended since the handle was minted.
+    Never mutates (or returns a view of a region that will be mutated
+    of) the handle's array - callers treat working arrays as frozen.
+    """
+    values = stamp._array
+    born_threads = stamp._born_threads
+    if born_threads == threads and len(values) == size:
+        return values
+    wide = _np.zeros(size, dtype=_np.int64)
+    wide[:born_threads] = values[:born_threads]
+    wide[threads:threads + (len(values) - born_threads)] = (
+        values[born_threads:]
+    )
+    return wide
+
+
+class NumpyKernelBackend(KernelBackend):
+    """The gated numpy batch loop: resident-array clocks, C-speed merge.
+
+    Working vectors are ``int64`` arrays resident across batches in the
+    kernel's :class:`_ArrayCache` (one conversion per touched entity per
+    *epoch*, not per batch) and the element-wise maximum is a single
+    ``np.maximum`` call.  Values re-enter the immutable
+    :class:`Timestamp` world through lazy :class:`_ArrayStamp` handles,
+    whose first-use materialisation restores exact Python ints - verdict
+    bit-identity with the python backend is asserted by the property
+    tests.
     """
 
     name = NUMPY_BACKEND
 
     #: Below this batch length the array working-state setup costs more
     #: than it saves, so short runs (warm-up segments between component
-    #: additions, expire-riddled streams) take the pure-Python loop.
-    #: Purely a wall-clock switch: both loops are bit-identical.
-    MIN_ARRAY_BATCH = 48
+    #: additions, expire-riddled streams) take the pure-Python loop -
+    #: *until* the kernel has a populated resident cache, at which point
+    #: arrays win at any length (a cache hit is one dict lookup, while
+    #: falling back would evict cached vectors and rebuild them from
+    #: materialised tuples next batch).  Re-tuned for the cached regime:
+    #: the old per-batch backend needed 48 events to amortise its
+    #: conversions; with conversions amortised across the epoch the
+    #: crossover sits far lower.  Purely a wall-clock switch: both loops
+    #: are bit-identical.
+    MIN_ARRAY_BATCH = 16
 
     #: Below this clock dimension ``np.maximum`` call overhead exceeds
     #: the Python element-wise loop it replaces, so small clocks take
-    #: the Python loop too.  The crossover differs by mode: the
-    #: digest-only path replaces just the merge (a few dozen slots pay
-    #: off), while minting still converts every stamp back to a Python
-    #: tuple, which cancels the array win until clocks are much wider.
-    #: Same bit-identity argument as above in both cases.
-    MIN_ARRAY_DIM_ADVANCE = 48
-    MIN_ARRAY_DIM_MINT = 160
+    #: the Python loop too.  The two modes used to differ by ~3x because
+    #: minting converted every stamp back to a Python tuple; lazy
+    #: ``_ArrayStamp`` handles removed that per-event cost, so the mint
+    #: crossover collapsed to nearly the advance one.  Same bit-identity
+    #: argument as above in both cases.
+    MIN_ARRAY_DIM_ADVANCE = 32
+    MIN_ARRAY_DIM_MINT = 48
 
     def __init__(self) -> None:
         self._fallback = PythonKernelBackend()
 
     def _use_arrays(self, kernel, pairs, min_dim) -> bool:
+        cache = kernel._cache
+        if cache is not None and (cache.threads or cache.objects):
+            # Resident vectors exist: stay on the array path so they are
+            # reused rather than evicted (the python fallback would have
+            # to materialise their handles' tuples anyway).
+            return True
         return (
             len(pairs) >= self.MIN_ARRAY_BATCH
             and kernel._components.size >= min_dim
@@ -409,22 +630,54 @@ class NumpyKernelBackend(KernelBackend):
         object_slots = kernel._object_slot
         thread_stamps = kernel._thread_stamps
         object_stamps = kernel._object_stamps
+        cache = kernel._cache
+        if cache is None:
+            cache = kernel._cache = _ArrayCache(components)
+        else:
+            # Deferred pad-on-read: component growth since the last array
+            # batch is reconciled here, once, instead of on every extend.
+            cache.sync(components)
+        cached_threads = cache.threads
+        cached_objects = cache.objects
+        born_threads = len(components.thread_components)
         maximum = np.maximum
-        from_trusted = Timestamp._from_trusted
+        as_array = np.array
+        zeros = np.zeros
+        int64 = np.int64
+        make = _ArrayStamp._make
         thread_work: Dict[Vertex, object] = {}
         object_work: Dict[Vertex, object] = {}
+        # Handles minted this batch, keyed by the id of their array.  The
+        # write-back reuses them so a returned stamp and the stored
+        # thread/object stamp of its endpoints are the *same* object,
+        # like the python backend's loop; handle entries keep their array
+        # alive, so ids cannot be recycled while the dict is in use.
+        minted: Dict[int, Timestamp] = {}
+        append_stamp = stamps.append if stamps is not None else None
         try:
             for thread, obj in pairs:
                 thread_values = thread_work.get(thread)
                 if thread_values is None:
-                    stamp = thread_stamps.get(thread)
-                    if stamp is not None:
-                        thread_values = np.array(stamp._values, dtype=np.int64)
+                    thread_values = cached_threads.get(thread)
+                    if thread_values is None:
+                        stamp = thread_stamps.get(thread)
+                        if stamp is not None:
+                            thread_values = (
+                                _handle_array(stamp, born_threads, size)
+                                if type(stamp) is _ArrayStamp
+                                else as_array(stamp._values, dtype=int64)
+                            )
                 object_values = object_work.get(obj)
                 if object_values is None:
-                    stamp = object_stamps.get(obj)
-                    if stamp is not None:
-                        object_values = np.array(stamp._values, dtype=np.int64)
+                    object_values = cached_objects.get(obj)
+                    if object_values is None:
+                        stamp = object_stamps.get(obj)
+                        if stamp is not None:
+                            object_values = (
+                                _handle_array(stamp, born_threads, size)
+                                if type(stamp) is _ArrayStamp
+                                else as_array(stamp._values, dtype=int64)
+                            )
                 object_slot = object_slots.get(obj)
                 thread_slot = thread_slots.get(thread)
                 if thread_slot is None and object_slot is None:
@@ -437,7 +690,7 @@ class NumpyKernelBackend(KernelBackend):
                         values = (
                             object_values
                             if object_values is not None
-                            else np.zeros(size, dtype=np.int64)
+                            else zeros(size, dtype=int64)
                         )
                     elif (
                         object_values is None or object_values is thread_values
@@ -447,9 +700,13 @@ class NumpyKernelBackend(KernelBackend):
                         values = maximum(thread_values, object_values)
                     thread_work[thread] = values
                     object_work[obj] = values
-                    if stamps is not None:
-                        stamp = from_trusted(components, tuple(values.tolist()))
-                        stamps.append(stamp)
+                    if append_stamp is not None:
+                        key = id(values)
+                        stamp = minted.get(key)
+                        if stamp is None:
+                            stamp = make(components, values, born_threads)
+                            minted[key] = stamp
+                        append_stamp(stamp)
                     else:
                         fold = ((fold ^ 1) * _FOLD_PRIME) & _FOLD_MASK
                     continue
@@ -457,7 +714,7 @@ class NumpyKernelBackend(KernelBackend):
                     values = (
                         object_values.copy()
                         if object_values is not None
-                        else np.zeros(size, dtype=np.int64)
+                        else zeros(size, dtype=int64)
                     )
                 elif object_values is None or object_values is thread_values:
                     values = thread_values.copy()
@@ -469,16 +726,21 @@ class NumpyKernelBackend(KernelBackend):
                     values[thread_slot] += 1
                 thread_work[thread] = values
                 object_work[obj] = values
-                if stamps is not None:
-                    stamps.append(from_trusted(components, tuple(values.tolist())))
+                if append_stamp is not None:
+                    stamp = make(components, values, born_threads)
+                    minted[id(values)] = stamp
+                    append_stamp(stamp)
                 else:
+                    # The fold reads its post-increment slot values
+                    # straight off the resident array - no tuple, no
+                    # Timestamp, just two scalar reads per event.
                     fold = (
                         (
                             fold
                             ^ (
-                                (int(values[thread_slot]) if thread_slot is not None else 0)
+                                (values.item(thread_slot) if thread_slot is not None else 0)
                                 * 2654435761
-                                + (int(values[object_slot]) if object_slot is not None else 0)
+                                + (values.item(object_slot) if object_slot is not None else 0)
                                 * 40503
                                 + 1
                             )
@@ -486,27 +748,23 @@ class NumpyKernelBackend(KernelBackend):
                         * _FOLD_PRIME
                     ) & _FOLD_MASK
         finally:
-            self._write_back(
-                components, thread_work, object_work, thread_stamps, object_stamps
-            )
+            # Also on a strict-mode error: the events before the offender
+            # are applied, and stamps and cache stay coherent (the batch
+            # entered synced, and every array written carries the synced
+            # layout).
+            for cache_store, stamp_store, work in (
+                (cached_threads, thread_stamps, thread_work),
+                (cached_objects, object_stamps, object_work),
+            ):
+                for vertex, values in work.items():
+                    key = id(values)
+                    stamp = minted.get(key)
+                    if stamp is None:
+                        stamp = make(components, values, born_threads)
+                        minted[key] = stamp
+                    stamp_store[vertex] = stamp
+                    cache_store[vertex] = values
         return fold
-
-    @staticmethod
-    def _write_back(components, thread_work, object_work,
-                    thread_stamps, object_stamps) -> None:
-        minted: Dict[int, Timestamp] = {}
-        from_trusted = Timestamp._from_trusted
-        for store, work in (
-            (thread_stamps, thread_work),
-            (object_stamps, object_work),
-        ):
-            for vertex, values in work.items():
-                key = id(values)
-                stamp = minted.get(key)
-                if stamp is None:
-                    stamp = from_trusted(components, tuple(values.tolist()))
-                    minted[key] = stamp
-                store[vertex] = stamp
 
 
 _BACKENDS: Dict[str, KernelBackend] = {PYTHON_BACKEND: PythonKernelBackend()}
@@ -632,6 +890,7 @@ class ClockKernel:
         "_epoch",
         "_retired_total",
         "_backend",
+        "_cache",
     )
 
     def __init__(
@@ -646,6 +905,7 @@ class ClockKernel:
         self._backend = resolve_backend(backend)
         self._thread_stamps: Dict[Vertex, Timestamp] = {}
         self._object_stamps: Dict[Vertex, Timestamp] = {}
+        self._cache: Optional[_ArrayCache] = None
         self._bind_components(components)
 
     def _bind_components(self, components: ClockComponents) -> None:
@@ -688,9 +948,56 @@ class ClockKernel:
 
         Used when resuming a checkpointed run under a different
         ``--backend``: the pickled kernel carries the backend it ran
-        with, and the resuming configuration wins.
+        with, and the resuming configuration wins.  The resident-array
+        cache needs no action here: the python loops evict what they
+        touch, so a cache built by one backend stays coherent for the
+        next.
         """
         self._backend = resolve_backend(backend)
+
+    # ------------------------------------------------------------------
+    # Resident-array cache coherence (the C205 contract)
+    # ------------------------------------------------------------------
+    def _invalidate_cache(self) -> None:
+        """Drop the backend's resident-array cache wholesale.
+
+        The hook for mutations that reshape clock state beyond the
+        cache's pure-append pad model (epoch rotation, resets, slot
+        permutations).  Cheap and always safe: the next array batch
+        rebuilds resident vectors from the stamp dicts.
+        """
+        self._cache = None
+
+    def _cache_evict(self, thread: Vertex, obj: Vertex) -> None:
+        """Forget one event's endpoints from the resident-array cache.
+
+        The targeted hook for per-event mutations (:meth:`observe`):
+        the touched thread/object stamps are replaced outside the array
+        write-back, so their cached vectors would go stale.
+        """
+        cache = self._cache
+        if cache is not None:
+            cache.evict(thread, obj)
+
+    def __getstate__(self):
+        # The resident-array cache is process-local working state: it
+        # holds numpy arrays (unloadable on a numpy-less host) that the
+        # backend rebuilds on demand, so checkpoints never carry it.
+        # Stamp handles in the dicts serialise as materialised
+        # Timestamps via _ArrayStamp.__reduce__.
+        return {
+            slot: getattr(self, slot)
+            for slot in self.__slots__
+            if slot != "_cache"
+        }
+
+    def __setstate__(self, state) -> None:
+        if isinstance(state, tuple):
+            # The pre-cache default slots form: (dict-state, slots-dict).
+            state = state[1] or {}
+        for slot, value in state.items():
+            setattr(self, slot, value)
+        self._cache = None
 
     def thread_stamp(self, thread: Vertex) -> Timestamp:
         """Current clock of ``thread`` as an immutable timestamp."""
@@ -709,6 +1016,7 @@ class ClockKernel:
         One list, one tuple and one :class:`Timestamp` are allocated per
         covered event; nothing is re-validated.
         """
+        self._cache_evict(thread, obj)
         thread_stamp = self._thread_stamps.get(thread)
         object_stamp = self._object_stamps.get(obj)
         object_slot = self._object_slot.get(obj)
@@ -847,6 +1155,7 @@ class ClockKernel:
         self._epoch += 1
         self._thread_stamps.clear()
         self._object_stamps.clear()
+        self._invalidate_cache()
         self._bind_components(new_components)
         return retired
 
@@ -898,19 +1207,36 @@ class ClockKernel:
             def rebase(stamp: Timestamp) -> Timestamp:
                 cached = rebased.get(id(stamp))
                 if cached is None:
-                    values = stamp._values
-                    cached = Timestamp._from_trusted(
-                        new_components,
-                        values[:old_threads]
-                        + thread_pad
-                        + values[old_threads:]
-                        + object_pad,
-                    )
+                    if type(stamp) is _ArrayStamp:
+                        # A lazy handle rebases without materialising:
+                        # the new handle shares the resident array, and
+                        # its recorded birth layout already encodes the
+                        # append-only pad materialisation will apply.
+                        # This is what makes warm-up component growth
+                        # near-free on the array path.
+                        cached = _ArrayStamp._make(
+                            new_components, stamp._array, stamp._born_threads
+                        )
+                    else:
+                        values = stamp._values
+                        cached = Timestamp._from_trusted(
+                            new_components,
+                            values[:old_threads]
+                            + thread_pad
+                            + values[old_threads:]
+                            + object_pad,
+                        )
                     rebased[id(stamp)] = cached
                     keep.append(stamp)
                 return cached
 
         else:
+            # A non-append layout change breaks the cache's pure-append
+            # pad model (slots permute), so the resident arrays cannot be
+            # reconciled by sync(); drop them.  Unreachable from
+            # extend_components (ClockComponents.extended always
+            # appends), kept for direct callers.
+            self._invalidate_cache()
 
             def rebase(stamp: Timestamp) -> Timestamp:
                 cached = rebased.get(id(stamp))
@@ -929,3 +1255,4 @@ class ClockKernel:
         """Forget all clock state."""
         self._thread_stamps.clear()
         self._object_stamps.clear()
+        self._invalidate_cache()

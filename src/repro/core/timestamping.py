@@ -122,6 +122,17 @@ class VectorClockProtocol:
         streaming consumer can feed the protocol chunk by chunk.  The
         returned timestamps are bit-identical to per-event
         :meth:`observe` calls - the loop is just the kernel backend's.
+
+        Under the numpy backend the returned objects may be *lazy*
+        stamp handles: full :class:`~repro.core.clock.Timestamp`
+        instances whose value tuple is materialised from the backend's
+        resident array on first use (any comparison, ``.values``,
+        hashing, pickling).  Digest-only consumers that never look
+        inside a stamp therefore never pay tuple construction.  The
+        laziness is unobservable by contract: values, ordering,
+        identity sharing between a returned stamp and the stored
+        endpoint clocks, and pickle output (plain eager timestamps,
+        loadable without numpy) all match the python backend exactly.
         """
         pairs = list(pairs)
         # Count before running, like timestamp_computation: a coverage
@@ -435,7 +446,10 @@ class EpochClock:
         tokens), with the kernel's batch loop doing the per-event work.
         Lifecycle ticks (:meth:`expire`, :meth:`rotate`) cannot occur
         *inside* a batch by construction - callers chunk their streams at
-        lifecycle boundaries, as the sharded engine does.
+        lifecycle boundaries, as the sharded engine does.  The stored
+        live stamps may be the numpy backend's lazy handles (see
+        :meth:`VectorClockProtocol.timestamp_batch`); causality queries
+        materialise them transparently on first use.
         """
         pairs = list(pairs)
         stamps = self._kernel.timestamp_batch(pairs)

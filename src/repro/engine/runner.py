@@ -46,7 +46,7 @@ from typing import Deque, Dict, List, Optional, Tuple
 from repro.analysis.experiments import EXTENDED_MECHANISMS
 from repro.analysis.metrics import QuantileSketch, RunningStats
 from repro.computation.registry import REGISTRY, STREAM
-from repro.computation.streams import EPOCH, INSERT
+from repro.computation.streams import EPOCH
 from repro.core.components import ClockComponents
 from repro.core.kernel import ClockKernel, resolve_backend
 from repro.engine.checkpoint import EngineCheckpointManager, ShardCheckpoint
@@ -436,20 +436,6 @@ def run_shard(config: EngineConfig, shard_id: int) -> PartialResult:
         seed=derive_seed(config.seed, config.scenario, "stream"),
     )
     sharder = StreamSharder(config.num_shards, config.strategy)
-    tagged = sharder.split(stream)
-
-    # Fast-forward past the checkpointed prefix.  The events are consumed
-    # (the round-robin assignment table must replay identically) but not
-    # fed to consumers - their state already includes them.
-    for _ in range(raw_consumed):
-        try:
-            next(tagged)
-        except StopIteration:
-            raise EngineError(
-                f"stream exhausted while fast-forwarding shard {shard_id} to "
-                f"event {raw_consumed}; the checkpoint does not match this "
-                f"stream"
-            ) from None
 
     chunk = _ChunkBuffers(
         config.mechanisms, inserts_done, config.stride, config.include_offline
@@ -528,6 +514,20 @@ def run_shard(config: EngineConfig, shard_id: int) -> PartialResult:
         # (Scenario-emitted expiry - churn bursts - batches fine and
         # stays on the batched path.)  Results are identical either way.
         # ------------------------------------------------------------------
+        tagged = sharder.split(stream)
+        # Fast-forward past the checkpointed prefix.  The events are
+        # consumed (the round-robin assignment table must replay
+        # identically) but not fed to consumers - their state already
+        # includes them.
+        for _ in range(raw_consumed):
+            try:
+                next(tagged)
+            except StopIteration:
+                raise EngineError(
+                    f"stream exhausted while fast-forwarding shard "
+                    f"{shard_id} to event {raw_consumed}; the checkpoint "
+                    f"does not match this stream"
+                ) from None
         for shard, event in tagged:
             raw_consumed += 1
             if shard != shard_id:
@@ -593,10 +593,13 @@ def run_shard(config: EngineConfig, shard_id: int) -> PartialResult:
         # lifecycle ticks and chunk / epoch boundaries, flow through
         # observe_batch (mechanisms) and advance_batch (kernels) so the
         # per-event Python dispatch is paid once per run, not per event.
-        # Identical interleaving, identical numbers - the fingerprint
-        # equality with the per-event loop is asserted in CI.
+        # The runs arrive whole from StreamSharder.split_runs - routing,
+        # filtering and accumulation happen inside the sharder's own
+        # loop, so this driver resumes once per run / boundary event
+        # instead of once per tagged event.  Identical interleaving,
+        # identical numbers - the fingerprint equality with the
+        # per-event loop is asserted in CI.
         # ------------------------------------------------------------------
-        pending: List[Tuple[object, object]] = []
         stride = config.stride
         # The timestamping stage has its own, longer accumulation: the
         # per-label kernels consume *inserts only* (append-only clocks
@@ -661,23 +664,21 @@ def run_shard(config: EngineConfig, shard_id: int) -> PartialResult:
                 )
             return min(cap, MAX_BATCH_EVENTS)
 
-        def flush_inserts() -> None:
+        def flush_inserts(run: List[Tuple[object, object]]) -> None:
             nonlocal inserts_done
-            if not pending:
-                return
-            count = len(pending)
+            count = len(run)
             start = inserts_done
             offline_sizes: Optional[List[int]] = None
             if engine is not None:
                 offline_sizes = []
                 add_edge = engine.add_edge
                 append_offline = offline_sizes.append
-                for thread, obj in pending:
+                for thread, obj in run:
                     add_edge(thread, obj)
                     append_offline(engine.size)
             sample_offsets = range((-start) % stride, count, stride)
             for label, mechanism in mechanisms.items():
-                sizes = mechanism.observe_batch(pending)
+                sizes = mechanism.observe_batch(run)
                 samples = chunk.samples[label]
                 for offset in sample_offsets:
                     samples.append(sizes[offset])
@@ -696,12 +697,11 @@ def run_shard(config: EngineConfig, shard_id: int) -> PartialResult:
                 for offset in sample_offsets:
                     offline_samples.append(offline_sizes[offset])
             if clocks is not None:
-                kernel_pending.extend(pending)
+                kernel_pending.extend(run)
                 if len(kernel_pending) >= MAX_BATCH_EVENTS:
                     flush_stamps()
             inserts_done += count
             chunk.inserts += count
-            pending.clear()
 
         def complete_chunk_batched() -> None:
             # The chunk's frozen digest must be current, so the kernels
@@ -710,35 +710,31 @@ def run_shard(config: EngineConfig, shard_id: int) -> PartialResult:
                 flush_stamps()
             complete_chunk()
 
-        cap = run_cap()
-        for shard, event in tagged:
-            raw_consumed += 1
-            if shard != shard_id:
+        # Boundary checks run after *every* flushed run, but only a
+        # cap-sized run can actually land on a chunk/epoch boundary: the
+        # sharder re-evaluates run_cap() at each run's first insert, so
+        # a run cut short by a lifecycle event (or end of stream) always
+        # stops strictly before one.
+        for raw_consumed, item in sharder.split_runs(
+            stream, shard_id, cap=run_cap, skip=raw_consumed
+        ):
+            if item is None:
                 continue
-            kind = event.kind
-            if kind == INSERT:
-                pending.append((event.thread, event.obj))
-                if len(pending) >= cap:
-                    flush_inserts()
-                    if (
-                        config.epoch_every is not None
-                        and inserts_done % config.epoch_every == 0
-                    ):
-                        deliver_epoch()
-                    if chunk.inserts == config.chunk_size:
-                        complete_chunk_batched()
-                        interrupt_if_due()
-                    cap = run_cap()
+            if type(item) is list:
+                flush_inserts(item)
+                if (
+                    config.epoch_every is not None
+                    and inserts_done % config.epoch_every == 0
+                ):
+                    deliver_epoch()
+                if chunk.inserts == config.chunk_size:
+                    complete_chunk_batched()
+                    interrupt_if_due()
                 continue
-            flush_inserts()
-            if kind == EPOCH:
+            if item.kind == EPOCH:
                 deliver_epoch()
             else:
-                deliver_expire(event.thread, event.obj)
-            cap = run_cap()
-        # A trailing partial run (the stream ended mid-run) can never sit
-        # on a chunk/epoch boundary - those force a flush at append time.
-        flush_inserts()
+                deliver_expire(item.thread, item.obj)
         if clocks is not None:
             flush_stamps()
     if chunk.inserts or chunk.expires or chunk.epochs:

@@ -42,9 +42,9 @@ shard - is a pure function of the sharder configuration.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Tuple, Union
 
-from repro.computation.streams import EventLike, StreamEvent, as_stream_event
+from repro.computation.streams import INSERT, EventLike, StreamEvent, as_stream_event
 from repro.exceptions import EngineError
 from repro.graph.bipartite import Vertex
 from repro.seeds import stable_hash
@@ -129,6 +129,99 @@ class StreamSharder:
                     yield shard, event
                 continue
             yield self.shard_of(event.thread), event
+
+    def split_runs(
+        self,
+        events: Iterable[EventLike],
+        shard_id: int,
+        cap: Callable[[], int],
+        skip: int = 0,
+    ) -> Iterator[Tuple[int, Union[List[Tuple[Vertex, Vertex]], StreamEvent, None]]]:
+        """One shard's sub-stream as whole insert runs plus boundary events.
+
+        The batched pipeline's replacement for ``split()`` + a per-event
+        consumer loop: the routing, filtering and run accumulation all
+        happen inside this generator's single loop, so the driver
+        resumes once per *run* instead of paying a ``next()`` dispatch
+        and a tuple unpack per tagged event.  Yields ``(consumed,
+        item)`` where ``item`` is one of:
+
+        * a non-empty ``list`` of ``(thread, object)`` pairs - a run of
+          consecutive inserts owned by ``shard_id``, cut at lifecycle
+          events, at ``cap()`` (re-evaluated at each run's first insert,
+          so the driver's chunk/epoch arithmetic is always current), and
+          at end of stream;
+        * a :class:`StreamEvent` - an epoch marker or expire owned by
+          this shard, preceded by the flush of any open run;
+        * ``None`` - the end-of-stream tick, so the driver's final
+          ``consumed`` covers the whole stream.
+
+        ``consumed`` counts *tagged* events exactly as a ``split()``
+        loop would have (epoch markers are broadcast, one count per
+        shard), which keeps checkpoints interchangeable between the
+        per-event and batched pipelines.  A run flushed because its cap
+        was reached reports the count through its own last insert; runs
+        flushed by a boundary event report the count *before* that
+        event, whose own yield then accounts for it.
+
+        ``skip`` fast-forwards a resumed shard: that many tagged events
+        are consumed - routed through the assignment table, which must
+        replay identically - but not yielded.  Raises
+        :class:`~repro.exceptions.EngineError` when the stream is
+        shorter than ``skip`` (the checkpoint does not match).
+        """
+        if not (0 <= shard_id < self.num_shards):
+            raise EngineError(
+                f"shard_id {shard_id} out of range for {self.num_shards} shards"
+            )
+        num_shards = self.num_shards
+        shard_of = self.shard_of
+        consumed = 0
+        run: List[Tuple[Vertex, Vertex]] = []
+        room = 0
+        for item in events:
+            event = as_stream_event(item)
+            if event.is_epoch:
+                before = consumed
+                consumed += num_shards
+                # This shard's copy of the broadcast is the
+                # (shard_id+1)-th; a checkpoint taken after it covers it.
+                if before + shard_id + 1 <= skip:
+                    continue
+                if run:
+                    yield before, run
+                    run = []
+                yield consumed, event
+                continue
+            consumed += 1
+            thread = event.thread
+            if consumed <= skip:
+                # Keep the round-robin table identical to the original
+                # pass; the consumers' state already covers this event.
+                shard_of(thread)
+                continue
+            if shard_of(thread) != shard_id:
+                continue
+            if event.kind == INSERT:
+                if not run:
+                    room = cap()
+                run.append((thread, event.obj))
+                if len(run) >= room:
+                    yield consumed, run
+                    run = []
+                continue
+            if run:
+                yield consumed - 1, run
+                run = []
+            yield consumed, event
+        if consumed < skip:
+            raise EngineError(
+                f"stream exhausted while fast-forwarding shard {shard_id} to "
+                f"event {skip}; the checkpoint does not match this stream"
+            )
+        if run:
+            yield consumed, run
+        yield consumed, None
 
     def select(
         self, events: Iterable[EventLike], shard_id: int

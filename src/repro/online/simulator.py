@@ -258,27 +258,32 @@ def compare_mechanisms_on_stream(
 
     if batch_size is not None:
 
+        def feed(segment: List[Tuple[Vertex, Vertex]]) -> None:
+            nonlocal inserts
+            for label, mechanism in mechanisms.items():
+                trajectories[label].extend(mechanism.observe_batch(segment))
+            if engine is not None:
+                add_edge = engine.add_edge
+                append = offline_sizes.append
+                for thread, obj in segment:
+                    add_edge(thread, obj)
+                    append(engine.size)
+            inserts += len(segment)
+
         def process_run(run: List[Tuple[Vertex, Vertex]]) -> None:
+            if epoch is None:
+                # No counter epochs: the whole run is one segment, no
+                # sub-split arithmetic on the hot path.
+                feed(run)
+                return
             # Sub-split at counter-epoch boundaries, so epoch ticks land
             # exactly where the per-event loop would deliver them.
-            nonlocal inserts
             start = 0
             while start < len(run):
-                if epoch is None:
-                    segment = run[start:]
-                else:
-                    segment = run[start:start + epoch - inserts % epoch]
-                for label, mechanism in mechanisms.items():
-                    trajectories[label].extend(mechanism.observe_batch(segment))
-                if engine is not None:
-                    add_edge = engine.add_edge
-                    append = offline_sizes.append
-                    for thread, obj in segment:
-                        add_edge(thread, obj)
-                        append(engine.size)
-                inserts += len(segment)
+                segment = run[start:start + epoch - inserts % epoch]
+                feed(segment)
                 start += len(segment)
-                if epoch is not None and inserts % epoch == 0:
+                if inserts % epoch == 0:
                     deliver_epoch()
 
         for item in iter_event_batches(events, batch_size):

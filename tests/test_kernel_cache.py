@@ -1,0 +1,208 @@
+"""Resident-array cache coherence: the edges where stale vectors hide.
+
+The numpy backend keeps touched clock vectors resident across batches
+(:class:`repro.core.kernel._ArrayCache`), which is exactly the kind of
+optimisation that stays bit-identical in the steady state and silently
+diverges at lifecycle edges.  Each test here drives one such edge with
+hypothesis-generated streams and asserts the cached path agrees with the
+uncached python loop value-for-value:
+
+* mid-stream ``extend_components`` while the cache is warm (the deferred
+  pad-on-read ``sync`` must reconcile resident vectors with the grown
+  layout);
+* ``rotate_epoch`` mid-stream (wholesale invalidation: nothing of the
+  old epoch's arrays may leak into the new one);
+* checkpoint/resume (the cache must not be pickled - it holds numpy
+  arrays a numpy-less host cannot load - and a resumed kernel must
+  rebuild it transparently);
+* backend switch on resume (a cache built by numpy batches must not go
+  stale when the python loop takes over, and vice versa).
+
+These complement ``tests/test_batched_pipeline.py``'s broader backend
+bit-identity suite; here every stream is long and wide enough to keep
+the array path *on* (warm cache), because the fallback path would make
+the assertions vacuous.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.components import ClockComponents
+from repro.core.kernel import ClockKernel, numpy_available
+
+requires_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="numpy backend not installed"
+)
+
+SETTINGS = settings(max_examples=25, deadline=None)
+
+#: Wide enough (30 + 20 = 50 slots) to clear MIN_ARRAY_DIM_MINT, so
+#: batches of >= MIN_ARRAY_BATCH events take the array path and the
+#: cache actually warms up.
+THREAD_COMPS = [f"T{i}" for i in range(30)]
+OBJECT_COMPS = [f"O{i}" for i in range(20)]
+
+
+def fresh_components():
+    return ClockComponents(THREAD_COMPS, OBJECT_COMPS)
+
+
+@st.composite
+def batched_pairs(draw, batches=4, batch_size=24):
+    """A list of insert batches, each long enough for the array path."""
+    rng = random.Random(draw(st.integers(min_value=0, max_value=2**31)))
+    return [
+        [
+            (
+                f"T{rng.randrange(len(THREAD_COMPS))}",
+                f"O{rng.randrange(len(OBJECT_COMPS))}",
+            )
+            for _ in range(batch_size)
+        ]
+        for _ in range(draw(st.integers(min_value=2, max_value=batches)))
+    ]
+
+
+def drive(kernel, batches):
+    """Timestamp every batch; returns the materialised stamp values."""
+    out = []
+    for batch in batches:
+        out.extend(stamp.values for stamp in kernel.timestamp_batch(batch))
+    return out
+
+
+def assert_same_state(numpy_kernel, python_kernel):
+    for thread in THREAD_COMPS:
+        assert (
+            numpy_kernel.thread_stamp(thread).values
+            == python_kernel.thread_stamp(thread).values
+        ), thread
+    for obj in OBJECT_COMPS:
+        assert (
+            numpy_kernel.object_stamp(obj).values
+            == python_kernel.object_stamp(obj).values
+        ), obj
+
+
+@requires_numpy
+class TestCacheBitIdentity:
+    @SETTINGS
+    @given(batches=batched_pairs(), grow_at=st.integers(0, 3))
+    def test_extend_components_with_warm_cache(self, batches, grow_at):
+        """Deferred pad-on-read: growth between batches stays bit-identical."""
+        cached = ClockKernel(fresh_components(), backend="numpy")
+        uncached = ClockKernel(fresh_components(), backend="python")
+        cached_values, uncached_values = [], []
+        for index, batch in enumerate(batches):
+            if index == min(grow_at, len(batches) - 1):
+                for kernel in (cached, uncached):
+                    kernel.extend_components(
+                        thread_components=("T90",), object_components=("O90",)
+                    )
+            cached_values.extend(s.values for s in cached.timestamp_batch(batch))
+            uncached_values.extend(
+                s.values for s in uncached.timestamp_batch(batch)
+            )
+        assert cached_values == uncached_values
+        assert_same_state(cached, uncached)
+        # The edge under test actually ran on the array path.
+        assert cached._cache is not None
+
+    @SETTINGS
+    @given(batches=batched_pairs())
+    def test_rotate_epoch_drops_cache_and_stays_identical(self, batches):
+        """Epoch rotation mid-stream: no old-epoch array survives."""
+        cached = ClockKernel(fresh_components(), backend="numpy")
+        uncached = ClockKernel(fresh_components(), backend="python")
+        drive(cached, batches[:1])
+        drive(uncached, batches[:1])
+        assert cached._cache is not None
+        for kernel in (cached, uncached):
+            kernel.rotate_epoch(fresh_components())
+        # Invalidation is wholesale: the resident arrays are gone, so the
+        # new epoch cannot read stale pre-rotation vectors.
+        assert cached._cache is None
+        assert drive(cached, batches) == drive(uncached, batches)
+        assert_same_state(cached, uncached)
+
+    @SETTINGS
+    @given(batches=batched_pairs())
+    def test_advance_batch_fold_matches_python(self, batches):
+        """The digest path reads resident arrays; folds must agree too."""
+        cached = ClockKernel(fresh_components(), backend="numpy")
+        uncached = ClockKernel(fresh_components(), backend="python")
+        cached_fold = uncached_fold = 0
+        for batch in batches:
+            cached_fold = cached.advance_batch(batch, cached_fold)
+            uncached_fold = uncached.advance_batch(batch, uncached_fold)
+        assert cached_fold == uncached_fold
+        assert_same_state(cached, uncached)
+
+
+@requires_numpy
+class TestCacheCheckpointing:
+    def warm_kernel(self, seed=404):
+        kernel = ClockKernel(fresh_components(), backend="numpy")
+        rng = random.Random(seed)
+        kernel.timestamp_batch(
+            [
+                (
+                    f"T{rng.randrange(len(THREAD_COMPS))}",
+                    f"O{rng.randrange(len(OBJECT_COMPS))}",
+                )
+                for _ in range(64)
+            ]
+        )
+        assert kernel._cache is not None, "array path did not engage"
+        return kernel
+
+    def test_cache_not_pickled(self):
+        kernel = self.warm_kernel()
+        assert "_cache" not in kernel.__getstate__()
+        clone = pickle.loads(pickle.dumps(kernel))
+        assert clone._cache is None
+
+    @SETTINGS
+    @given(batches=batched_pairs())
+    def test_resume_rebuilds_cache_bit_identically(self, batches):
+        kernel = self.warm_kernel()
+        clone = pickle.loads(pickle.dumps(kernel))
+        assert drive(clone, batches) == drive(kernel, batches)
+        # The resumed kernel re-warmed its own cache from the stamp dicts.
+        assert clone._cache is not None
+
+    @SETTINGS
+    @given(batches=batched_pairs())
+    def test_backend_switch_on_resume(self, batches):
+        """numpy -> python and python -> numpy resumes stay identical."""
+        reference = self.warm_kernel()
+        to_python = pickle.loads(pickle.dumps(reference))
+        to_python.set_backend("python")
+        to_numpy = pickle.loads(pickle.dumps(reference))
+        to_numpy.set_backend("numpy")
+        expected = drive(reference, batches)
+        assert drive(to_python, batches) == expected
+        assert drive(to_numpy, batches) == expected
+        assert_same_state(to_numpy, to_python)
+
+    def test_python_batches_evict_from_warm_cache(self):
+        """Short (fallback-path) batches must not strand stale vectors."""
+        kernel = self.warm_kernel()
+        mixed = pickle.loads(pickle.dumps(kernel))
+        # A short batch after resume runs the python loop on the numpy
+        # backend (below MIN_ARRAY_BATCH, cold cache) and then long
+        # batches re-engage arrays; values must match the pure sequence.
+        short = [("T0", "O0"), ("T1", "O1")]
+        long = [
+            (f"T{i % len(THREAD_COMPS)}", f"O{i % len(OBJECT_COMPS)}")
+            for i in range(48)
+        ]
+        expected = drive(kernel, [short, long, short, long])
+        assert drive(mixed, [short, long, short, long]) == expected
+        assert_same_state(kernel, mixed)
