@@ -43,7 +43,10 @@ RESULTS_DIR = Path(__file__).parent / "results"
 #: archives from different eras without sniffing.  Version 1: payload plus
 #: ``{"schema": 1, "benchmark": name, "smoke": bool}``, sorted keys.
 #: Version 2 adds the ``environment`` block (see :func:`bench_environment`).
-BENCH_SCHEMA_VERSION = 2
+#: Version 3 adds the optional ``metrics`` block - a telemetry document
+#: (``repro.obs.exporters.metrics_document``) from an instrumented side
+#: run, absent when the benchmark recorded none.
+BENCH_SCHEMA_VERSION = 3
 
 #: True when the harness should run a fast smoke pass (see module docstring).
 SMOKE = "--smoke" in sys.argv or os.environ.get("BENCH_SMOKE", "") == "1"
@@ -195,14 +198,18 @@ def bench_environment() -> dict:
     }
 
 
-def write_json_result(name: str, payload: dict) -> Path:
+def write_json_result(name: str, payload: dict, metrics: dict | None = None) -> Path:
     """Persist one benchmark's numbers as ``BENCH_<name>.json``.
 
     ``payload`` should hold plain JSON-safe scalars/lists/dicts
     (events/sec, ratios, parameter values); the envelope adds
     ``schema`` (:data:`BENCH_SCHEMA_VERSION`), the benchmark name,
     whether this was a smoke (throwaway-scale) run, and the
-    :func:`bench_environment` attribution block.  Keys are emitted
+    :func:`bench_environment` attribution block.  ``metrics``, when
+    given, is a telemetry document (counter/histogram/derived blocks
+    from ``repro.obs.exporters.metrics_document``) captured by a
+    *separate* instrumented pass - never by the timed legs themselves,
+    so the published rates stay telemetry-free.  Keys are emitted
     sorted so reruns of identical numbers produce byte-identical files
     and archived results diff cleanly.
     """
@@ -215,6 +222,8 @@ def write_json_result(name: str, payload: dict) -> Path:
         "environment": bench_environment(),
         **payload,
     }
+    if metrics is not None:
+        document["metrics"] = metrics
     path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
     print(f"(json results written to {path})")
     return path

@@ -44,6 +44,8 @@ from repro.core.kernel import numpy_available
 from repro.engine import EngineConfig, run_engine
 from repro.engine.results import EngineResult
 from repro.engine.runner import run_shard
+from repro.obs import MetricsRegistry, install
+from repro.obs.exporters import metrics_document
 
 from _common import (
     PIPELINE_CHUNK,
@@ -176,6 +178,26 @@ def test_batched_pipeline_speedup(benchmark, record_table, record_json):
             "numpy CI job)"
         )
     record_table("batched_pipeline", "\n".join(lines))
+
+    # Untimed fourth pass: the best chunked variant again, this time with
+    # the telemetry registry installed.  The timed legs above stay
+    # telemetry-free (the published rates are the product); this pass
+    # proves at benchmark scale that instrumentation does not move the
+    # fingerprint, and harvests the kernel/engine counters (cache
+    # hit-rate, array-path share, batch-size distribution) into the
+    # schema-v3 envelope's ``metrics`` block.
+    registry = MetricsRegistry(origin="bench")
+    previous = install(registry)
+    try:
+        instrumented = _single_shard_result(
+            EngineConfig(pipeline="batched", backend=best_backend, **BASE)
+        )
+    finally:
+        install(previous)
+    assert instrumented.fingerprint() == reference.fingerprint(), (
+        "telemetry-instrumented run changed the fingerprint"
+    )
+
     record_json(
         "batched_pipeline",
         {
@@ -197,6 +219,7 @@ def test_batched_pipeline_speedup(benchmark, record_table, record_json):
             "best_chunked_speedup": best_rate / per_event_rate,
             "fingerprint": reference.fingerprint(),
         },
+        metrics=metrics_document(registry),
     )
 
 

@@ -65,6 +65,7 @@ from repro.core.kernel import (
     set_default_backend,
 )
 from repro.exceptions import ExperimentError, ScenarioError
+from repro.obs.registry import span as _metrics_span
 from repro.online.simulator import (
     OFFLINE_LABEL,
     compare_mechanisms_on_stream,
@@ -366,48 +367,59 @@ def ratio_sweep(
         for scenario, density, size in grid
         for trial in range(trials)
     ]
-    if mechanisms is not None:
-        outcomes = [_trial_samples(task, chosen_mechanisms) for task in tasks]
-    else:
-        # Deferred import: analysis is a lower layer than the engine; only
-        # this execution path reaches up to its executor backend.
-        from repro.engine.executor import execute_tasks
+    # The trial leg dominates the sweep's wall clock; the span (a no-op
+    # when no registry is installed) gives `sweep ratio --metrics` its
+    # cost breakdown without touching a single sweep number.
+    with _metrics_span("sweep.trials", tasks=len(tasks), jobs=jobs):
+        if mechanisms is not None:
+            outcomes = [_trial_samples(task, chosen_mechanisms) for task in tasks]
+        else:
+            # Deferred import: analysis is a lower layer than the engine;
+            # only this execution path reaches up to its executor backend.
+            from repro.engine.executor import execute_tasks
 
-        outcomes = execute_tasks(_run_trial_task, tasks, jobs=jobs)
+            outcomes = execute_tasks(_run_trial_task, tasks, jobs=jobs)
 
     cells: List[RatioCell] = []
     clock_labels = chosen_labels + (OFFLINE_LABEL,)
-    for cell_index, (scenario, density, size) in enumerate(grid):
-        burn_samples: Dict[str, List[float]] = {label: [] for label in chosen_labels}
-        steady_samples: Dict[str, List[float]] = {label: [] for label in chosen_labels}
-        clock_samples: Dict[str, List[float]] = {label: [] for label in clock_labels}
-        for trial in range(trials):
-            outcome = outcomes[cell_index * trials + trial]
-            for label in chosen_labels:
-                burn, steady, clock = outcome[label]
-                burn_samples[label].extend(burn)
-                steady_samples[label].extend(steady)
-                clock_samples[label].extend(clock)
-            clock_samples[OFFLINE_LABEL].extend(outcome[OFFLINE_LABEL][2])
-        cells.append(
-            RatioCell(
-                scenario=scenario.name,
-                density=density,
-                size=size,
-                burn_in={
-                    label: summarize(values)
-                    for label, values in burn_samples.items()
-                },
-                steady={
-                    label: summarize(values)
-                    for label, values in steady_samples.items()
-                },
-                steady_clock={
-                    label: summarize(values)
-                    for label, values in clock_samples.items()
-                },
+    with _metrics_span("sweep.summarise", cells=len(grid)):
+        for cell_index, (scenario, density, size) in enumerate(grid):
+            burn_samples: Dict[str, List[float]] = {
+                label: [] for label in chosen_labels
+            }
+            steady_samples: Dict[str, List[float]] = {
+                label: [] for label in chosen_labels
+            }
+            clock_samples: Dict[str, List[float]] = {
+                label: [] for label in clock_labels
+            }
+            for trial in range(trials):
+                outcome = outcomes[cell_index * trials + trial]
+                for label in chosen_labels:
+                    burn, steady, clock = outcome[label]
+                    burn_samples[label].extend(burn)
+                    steady_samples[label].extend(steady)
+                    clock_samples[label].extend(clock)
+                clock_samples[OFFLINE_LABEL].extend(outcome[OFFLINE_LABEL][2])
+            cells.append(
+                RatioCell(
+                    scenario=scenario.name,
+                    density=density,
+                    size=size,
+                    burn_in={
+                        label: summarize(values)
+                        for label, values in burn_samples.items()
+                    },
+                    steady={
+                        label: summarize(values)
+                        for label, values in steady_samples.items()
+                    },
+                    steady_clock={
+                        label: summarize(values)
+                        for label, values in clock_samples.items()
+                    },
+                )
             )
-        )
     return RatioSweepResult(
         scenarios=tuple(scenario.name for scenario in chosen_scenarios),
         densities=tuple(densities),

@@ -18,6 +18,8 @@ python -m repro engine run --scenario thread-churn --jobs 4 \
     --events 1000000 --checkpoint-dir ckpt   # sharded, resumable runs
 python -m repro engine run --scenario thread-churn --epoch 5000 \
     --mechanisms popularity,adaptive-popularity   # lifecycle-aware shards
+python -m repro engine run --scenario thread-churn --metrics metrics.json \
+    --trace trace.json                       # telemetry: metrics + Chrome trace
 python -m repro engine inspect ckpt          # checkpoint progress summary
 python -m repro engine clean ckpt            # prune unreferenced shard files
 ```
@@ -35,7 +37,6 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 from typing import Optional, Sequence
 
 from repro.analysis import (
@@ -60,6 +61,7 @@ from repro.engine.sharding import STRATEGIES as ENGINE_STRATEGIES
 KERNEL_BACKENDS = (PYTHON_BACKEND, NUMPY_BACKEND)
 from repro.exceptions import ReproError
 from repro.lint.cli import add_lint_arguments, cmd_lint
+from repro.obs import MetricsRegistry, install as obs_install
 from repro.offline import optimal_components_for_computation
 
 #: Trace workloads by name, derived from the scenario registry (kept as a
@@ -181,6 +183,11 @@ def build_parser() -> argparse.ArgumentParser:
         "that build ClockKernels during a trial (numpy stays optional and "
         "gated; results are identical for every choice)",
     )
+    sweep.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="write the ratio sweep's telemetry (spans, counters) as a "
+        "metrics JSON document; telemetry never changes a sweep number",
+    )
 
     engine = subparsers.add_parser(
         "engine",
@@ -277,6 +284,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="mint real per-event timestamps per mechanism and carry a "
         "per-label stamp digest under the fingerprint (append-only "
         "mechanisms only)",
+    )
+    engine_run.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="write run telemetry (kernel cache hit rates, per-shard "
+        "loads, epoch-rotation latency percentiles, spans) as a metrics "
+        "JSON document; the fingerprint is bit-identical with and "
+        "without telemetry",
+    )
+    engine_run.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write run spans in Chrome trace-event format "
+        "(chrome://tracing / Perfetto), one lane per shard worker",
+    )
+    engine_run.add_argument(
+        "--metrics-log", default=None, dest="metrics_log", metavar="PATH",
+        help="write run telemetry as a JSONL event log (one metric or "
+        "span per line)",
     )
     engine_inspect = engine_sub.add_parser(
         "inspect",
@@ -405,9 +429,21 @@ def _cmd_engine(args: argparse.Namespace) -> int:
         backend=args.backend,
         timestamps=args.timestamps,
     )
-    started = time.perf_counter()
-    result = run_engine(config, jobs=args.jobs)
-    elapsed = time.perf_counter() - started
+    # One timing mechanism for the whole CLI: a telemetry registry is
+    # always installed around the run (its disabled/enabled state never
+    # changes a number - the fingerprint identity test pins that), and
+    # the elapsed line reads the top-level span instead of a second
+    # ad-hoc perf_counter pair.
+    registry = MetricsRegistry(origin="engine")
+    previous = obs_install(registry)
+    try:
+        with registry.span(
+            "cli.engine_run", jobs=args.jobs, scenario=args.scenario
+        ) as timer:
+            result = run_engine(config, jobs=args.jobs)
+    finally:
+        obs_install(previous)
+    elapsed = timer.duration
     # The report is a pure function of the configuration (the bit-identity
     # contract); wall-clock facts go to stderr so stdout stays comparable
     # across --jobs values.
@@ -442,6 +478,19 @@ def _cmd_engine(args: argparse.Namespace) -> int:
             f"({rate:,.0f} events/s, jobs={args.jobs})",
             file=sys.stderr,
         )
+    if args.metrics or args.trace or args.metrics_log:
+        from repro.obs import exporters
+
+        if args.metrics:
+            path = exporters.write_metrics_json(registry, args.metrics)
+            print(f"metrics written to {path}", file=sys.stderr)
+        if args.metrics_log:
+            path = exporters.write_spans_jsonl(registry, args.metrics_log)
+            print(f"metrics log written to {path}", file=sys.stderr)
+        if args.trace:
+            path = exporters.write_chrome_trace(registry, args.trace)
+            print(f"chrome trace written to {path}", file=sys.stderr)
+        print(exporters.format_summary(registry), file=sys.stderr)
     return 0
 
 
@@ -455,6 +504,27 @@ def _cmd_engine_inspect(args: argparse.Namespace) -> int:
     for key in sorted(signature):
         print(f"  {key}: {signature[key]}")
     rows = manager.describe()
+    # Per-shard progress and checkpoint age as obs gauges.  The
+    # registry's wall anchor is the one sanctioned wall-clock read (the
+    # D104 carve-out lives inside repro.obs), so this command never
+    # calls time.time() itself; the age column below is derived from the
+    # gauges it just set.
+    registry = MetricsRegistry(origin="inspect")
+    files = manager.shard_files()
+    for row in rows:
+        shard = row["shard"]
+        registry.gauge(f"checkpoint.shard[{shard}].chunks", row["chunks_done"])
+        registry.gauge(f"checkpoint.shard[{shard}].inserts", row["inserts_done"])
+        registry.gauge(f"checkpoint.shard[{shard}].bytes", row["bytes"])
+        path = files.get(shard)
+        if path is not None:
+            registry.gauge(
+                f"checkpoint.shard[{shard}].age_s",
+                max(0.0, registry.wall_epoch - path.stat().st_mtime),
+            )
+    for row in rows:
+        age = registry.gauge_value(f"checkpoint.shard[{row['shard']}].age_s", -1.0)
+        row["age_s"] = f"{age:.1f}" if age >= 0 else "-"
     print()
     print(format_table(rows) if rows else "(no shards recorded)")
     total_inserts = sum(row["inserts_done"] for row in rows)
@@ -491,23 +561,44 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 for label in args.mechanisms.split(",")
                 if label.strip()
             ]
-        result = ratio_sweep(
-            scenarios=[args.scenario] if args.scenario else None,
-            densities=[args.density] if args.density is not None else (0.05, 0.2),
-            sizes=[args.nodes] if args.nodes is not None else (20, 40),
-            trials=args.trials,
-            window=args.window,
-            burn_in=args.burn_in,
-            tail=args.tail,
-            num_events=args.events,
-            base_seed=args.seed,
-            jobs=args.jobs,
-            epoch=args.epoch,
-            labels=labels,
-            batch_size=args.batch_size,
-            backend=args.backend,
-        )
+        # Same unified timing as `engine run`: one installed registry,
+        # one top-level span, elapsed read back off the span.
+        registry = MetricsRegistry(origin="sweep")
+        previous = obs_install(registry)
+        try:
+            with registry.span("cli.sweep_ratio", jobs=args.jobs) as timer:
+                result = ratio_sweep(
+                    scenarios=[args.scenario] if args.scenario else None,
+                    densities=(
+                        [args.density] if args.density is not None else (0.05, 0.2)
+                    ),
+                    sizes=[args.nodes] if args.nodes is not None else (20, 40),
+                    trials=args.trials,
+                    window=args.window,
+                    burn_in=args.burn_in,
+                    tail=args.tail,
+                    num_events=args.events,
+                    base_seed=args.seed,
+                    jobs=args.jobs,
+                    epoch=args.epoch,
+                    labels=labels,
+                    batch_size=args.batch_size,
+                    backend=args.backend,
+                )
+        finally:
+            obs_install(previous)
         print(format_ratio_sweep(result))
+        print(
+            f"ratio sweep completed in {timer.duration:.2f}s "
+            f"(jobs={args.jobs})",
+            file=sys.stderr,
+        )
+        if args.metrics:
+            from repro.obs import exporters
+
+            path = exporters.write_metrics_json(registry, args.metrics)
+            print(f"metrics written to {path}", file=sys.stderr)
+            print(exporters.format_summary(registry), file=sys.stderr)
         return 0
     # A stream scenario passed to a graph-family axis fails the registry's
     # kind-constrained lookup inside the sweep, which surfaces as a clean

@@ -89,6 +89,12 @@ from repro.core.components import ClockComponents
 from repro.exceptions import ClockError, ComponentError
 from repro.graph.bipartite import Vertex
 
+# Telemetry write handle (stdlib-only import; repro.obs deliberately
+# imports nothing back from the core).  Every use below follows the
+# batch-granularity pattern: fetch once, guard on ``is not None``, so
+# the disabled cost never lands on a per-event path.
+from repro.obs.registry import active as _metrics_active
+
 try:  # The gate: numpy is an optional accelerator, never a requirement.
     import numpy as _np
 except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
@@ -219,6 +225,10 @@ class PythonKernelBackend(KernelBackend):
         cache = kernel._cache
         if cache is not None:
             cache.evict_pairs(pairs)
+        registry = _metrics_active()
+        if registry is not None:
+            registry.add("kernel.batch.python_batches")
+            registry.add("kernel.batch.python_events", len(pairs))
         components = kernel._components
         size = components.size
         thread_slots = kernel._thread_slot
@@ -279,6 +289,10 @@ class PythonKernelBackend(KernelBackend):
         cache = kernel._cache
         if cache is not None:
             cache.evict_pairs(pairs)
+        registry = _metrics_active()
+        if registry is not None:
+            registry.add("kernel.batch.python_batches")
+            registry.add("kernel.batch.python_events", len(pairs))
         components = kernel._components
         size = components.size
         thread_slots = kernel._thread_slot
@@ -453,6 +467,9 @@ class _ArrayCache:
         new_size = components.size
         if new_size == self.born_size and new_threads == self.born_threads:
             return
+        registry = _metrics_active()
+        if registry is not None:
+            registry.add("kernel.array_cache.invalidations")
         self.threads.clear()
         self.objects.clear()
         self.born_threads = new_threads
@@ -460,16 +477,30 @@ class _ArrayCache:
 
     def evict(self, thread: Vertex, obj: Vertex) -> None:
         """Forget one event's endpoints (their stamps changed elsewhere)."""
-        self.threads.pop(thread, None)
-        self.objects.pop(obj, None)
+        registry = _metrics_active()
+        if registry is None:
+            self.threads.pop(thread, None)
+            self.objects.pop(obj, None)
+            return
+        evicted = (self.threads.pop(thread, None) is not None) + (
+            self.objects.pop(obj, None) is not None
+        )
+        if evicted:
+            registry.add("kernel.array_cache.evictions", evicted)
 
     def evict_pairs(self, pairs: Sequence[Tuple[Vertex, Vertex]]) -> None:
         """Forget every endpoint of ``pairs`` ahead of a non-array batch."""
         threads = self.threads
         objects = self.objects
+        registry = _metrics_active()
+        before = len(threads) + len(objects) if registry is not None else 0
         for thread, obj in pairs:
             threads.pop(thread, None)
             objects.pop(obj, None)
+        if registry is not None:
+            evicted = before - len(threads) - len(objects)
+            if evicted:
+                registry.add("kernel.array_cache.evictions", evicted)
 
 
 class _ArrayStamp(Timestamp):
@@ -510,6 +541,9 @@ class _ArrayStamp(Timestamp):
         # Only the _values slot is lazy; anything else genuinely absent.
         if name != "_values":
             raise AttributeError(name)
+        registry = _metrics_active()
+        if registry is not None:
+            registry.add("kernel.lazy_stamps.materialised")
         components = self._components
         raw = self._array.tolist()
         born_threads = self._born_threads
@@ -639,6 +673,10 @@ class NumpyKernelBackend(KernelBackend):
             cache.sync(components)
         cached_threads = cache.threads
         cached_objects = cache.objects
+        registry = _metrics_active()
+        if registry is not None:
+            registry.add("kernel.batch.array_batches")
+            registry.add("kernel.batch.array_events", len(pairs))
         born_threads = len(components.thread_components)
         maximum = np.maximum
         as_array = np.array
@@ -748,6 +786,22 @@ class NumpyKernelBackend(KernelBackend):
                         * _FOLD_PRIME
                     ) & _FOLD_MASK
         finally:
+            # Hit/miss accounting must read membership *before* the
+            # write-back repopulates the stores: an entity touched this
+            # batch was a hit iff its vector was already resident when
+            # the batch began (entries are only read, never added,
+            # inside the loop above).  Entity-granular on purpose - the
+            # cache's whole point is one conversion per touched entity,
+            # so per-entity is the meaningful hit rate.
+            if registry is not None:
+                touched = len(thread_work) + len(object_work)
+                hits = sum(
+                    1 for vertex in thread_work if vertex in cached_threads
+                ) + sum(1 for vertex in object_work if vertex in cached_objects)
+                if hits:
+                    registry.add("kernel.array_cache.hits", hits)
+                if touched - hits:
+                    registry.add("kernel.array_cache.misses", touched - hits)
             # Also on a strict-mode error: the events before the offender
             # are applied, and stamps and cache stay coherent (the batch
             # entered synced, and every array written carries the synced
@@ -966,6 +1020,10 @@ class ClockKernel:
         permutations).  Cheap and always safe: the next array batch
         rebuilds resident vectors from the stamp dicts.
         """
+        if self._cache is not None:
+            registry = _metrics_active()
+            if registry is not None:
+                registry.add("kernel.array_cache.invalidations")
         self._cache = None
 
     def _cache_evict(self, thread: Vertex, obj: Vertex) -> None:

@@ -31,9 +31,11 @@ from __future__ import annotations
 
 import multiprocessing
 from concurrent.futures import ProcessPoolExecutor
+from time import perf_counter
 from typing import Callable, List, Sequence, TypeVar
 
 from repro.exceptions import EngineError
+from repro.obs.registry import active as _metrics_active
 
 Task = TypeVar("Task")
 Result = TypeVar("Result")
@@ -58,8 +60,24 @@ def execute_tasks(
         return [fn(task) for task in tasks]
     context = multiprocessing.get_context("spawn")
     workers = min(jobs, len(tasks))
+    registry = _metrics_active()
+    if registry is None:
+        with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+            return list(pool.map(fn, tasks))
+    # The pool span brackets spawn + compute + teardown; together with
+    # the per-task spans recorded inside the workers it makes the spawn
+    # overhead (the gap between the two) visible in the trace export.
+    registry.gauge("executor.workers", workers)
+    started = perf_counter()
     with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
-        return list(pool.map(fn, tasks))
+        results = list(pool.map(fn, tasks))
+    registry.record_span(
+        "executor.pool",
+        started,
+        perf_counter() - started,
+        (("tasks", len(tasks)), ("workers", workers)),
+    )
+    return results
 
 
 class ShardExecutor:

@@ -41,6 +41,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.analysis.experiments import EXTENDED_MECHANISMS
@@ -61,6 +62,8 @@ from repro.engine.results import (
 from repro.engine.sharding import HASH, STRATEGIES, StreamSharder
 from repro.exceptions import ClockError, EngineError, ScenarioError
 from repro.graph.incremental import DynamicMatching
+from repro.obs.registry import active as _metrics_active
+from repro.obs.registry import span as _metrics_span
 from repro.online.base import THREAD, OnlineMechanism
 from repro.online.simulator import seed_mechanism_factories
 from repro.seeds import derive_seed
@@ -408,7 +411,17 @@ def run_shard(config: EngineConfig, shard_id: int) -> PartialResult:
         if config.checkpoint_dir
         else None
     )
-    checkpoint = manager.load(shard_id) if manager else None
+    # Telemetry handle, bound once per shard run: every observation below
+    # guards on ``reg is not None`` so the disabled cost is this single
+    # global read.  Nothing read from the registry (or any clock feeding
+    # it) influences the partial - telemetry is observed, never
+    # observed-from.
+    reg = _metrics_active()
+    shard_started = perf_counter() if reg is not None else 0.0
+    checkpoint = None
+    if manager is not None:
+        with _metrics_span("engine.checkpoint.load", shard=shard_id):
+            checkpoint = manager.load(shard_id)
     if checkpoint is not None:
         consumers = checkpoint.consumers
         partial = checkpoint.partial
@@ -446,22 +459,36 @@ def run_shard(config: EngineConfig, shard_id: int) -> PartialResult:
     clocks = consumers.clocks
     stamp_folds = consumers.stamp_folds
 
+    chunk_started = shard_started
+
     def complete_chunk() -> None:
-        nonlocal partial, chunk, chunks_done
+        nonlocal partial, chunk, chunks_done, chunk_started
         partial = partial.merge(chunk.freeze(shard_id, stamp_folds))
         chunks_done += 1
-        if manager is not None:
-            manager.save(
-                ShardCheckpoint(
-                    shard_id=shard_id,
-                    chunks_done=chunks_done,
-                    raw_events_consumed=raw_consumed,
-                    inserts_done=inserts_done,
-                    expires_done=partial.expires,
-                    consumers=consumers,
-                    partial=partial,
-                )
+        if reg is not None:
+            now = perf_counter()
+            reg.add("engine.chunks")
+            reg.observe("engine.chunk_s", now - chunk_started)
+            reg.record_span(
+                "engine.chunk",
+                chunk_started,
+                now - chunk_started,
+                (("chunk", chunks_done), ("shard", shard_id)),
             )
+            chunk_started = now
+        if manager is not None:
+            with _metrics_span("engine.checkpoint.save", shard=shard_id):
+                manager.save(
+                    ShardCheckpoint(
+                        shard_id=shard_id,
+                        chunks_done=chunks_done,
+                        raw_events_consumed=raw_consumed,
+                        inserts_done=inserts_done,
+                        expires_done=partial.expires,
+                        consumers=consumers,
+                        partial=partial,
+                    )
+                )
         chunk = _ChunkBuffers(
             config.mechanisms, inserts_done, config.stride, config.include_offline
         )
@@ -470,7 +497,12 @@ def run_shard(config: EngineConfig, shard_id: int) -> PartialResult:
         """One epoch boundary: every mechanism may restructure its clock."""
         chunk.epochs += 1
         for label, mechanism in mechanisms.items():
-            mechanism.end_epoch()
+            if reg is None:
+                mechanism.end_epoch()
+            else:
+                began = perf_counter()
+                mechanism.end_epoch()
+                reg.observe("engine.epoch_rotation_s", perf_counter() - began)
             # A rebuild changes the clock between inserts; keep the
             # carried-forward facts current so a chunk ending right after
             # a boundary freezes the post-boundary state.
@@ -528,10 +560,15 @@ def run_shard(config: EngineConfig, shard_id: int) -> PartialResult:
                     f"{shard_id} to event {raw_consumed}; the checkpoint "
                     f"does not match this stream"
                 ) from None
+        # Own-shard load, mirroring split_runs' counter on the batched
+        # path (one key per shard id, so worker merges never collide).
+        shard_events = 0
         for shard, event in tagged:
             raw_consumed += 1
             if shard != shard_id:
                 continue
+            if reg is not None:
+                shard_events += 1
             if event.is_epoch:
                 deliver_epoch()
                 continue
@@ -587,6 +624,8 @@ def run_shard(config: EngineConfig, shard_id: int) -> PartialResult:
             if chunk.inserts == config.chunk_size:
                 complete_chunk()
                 interrupt_if_due()
+        if reg is not None and shard_events:
+            reg.add(f"sharder.shard[{shard_id}].events", shard_events)
     else:
         # ------------------------------------------------------------------
         # The batched pipeline: runs of consecutive inserts, cut at
@@ -667,6 +706,8 @@ def run_shard(config: EngineConfig, shard_id: int) -> PartialResult:
         def flush_inserts(run: List[Tuple[object, object]]) -> None:
             nonlocal inserts_done
             count = len(run)
+            if reg is not None:
+                reg.observe("engine.batch_size", count)
             start = inserts_done
             offline_sizes: Optional[List[int]] = None
             if engine is not None:
@@ -739,6 +780,17 @@ def run_shard(config: EngineConfig, shard_id: int) -> PartialResult:
             flush_stamps()
     if chunk.inserts or chunk.expires or chunk.epochs:
         complete_chunk()
+    if reg is not None:
+        reg.gauge(f"engine.shard[{shard_id}].inserts", partial.inserts)
+        reg.gauge(f"engine.shard[{shard_id}].expires", partial.expires)
+        reg.gauge(f"engine.shard[{shard_id}].epochs", partial.epochs)
+        reg.gauge(f"engine.shard[{shard_id}].chunks", chunks_done)
+        reg.record_span(
+            "engine.shard",
+            shard_started,
+            perf_counter() - shard_started,
+            (("pipeline", config.pipeline), ("shard", shard_id)),
+        )
     return partial
 
 
@@ -764,8 +816,26 @@ def run_engine(config: EngineConfig, jobs: int = 1) -> EngineResult:
         EngineCheckpointManager(config.checkpoint_dir, config.signature())
     executor = ShardExecutor(jobs)
     tasks = [(config, shard_id) for shard_id in range(config.num_shards)]
-    partials = executor.map(run_shard_task, tasks)
-    merged = merge_partials(partials)
+    registry = _metrics_active()
+    if registry is None:
+        partials = executor.map(run_shard_task, tasks)
+    else:
+        # Deferred import: the telemetry bridge imports this module back.
+        from repro.engine.telemetry import (
+            absorb_snapshots,
+            run_shard_task_with_metrics,
+        )
+
+        registry.gauge("engine.jobs", jobs)
+        registry.gauge("engine.num_shards", config.num_shards)
+        with registry.span("engine.map", jobs=jobs, shards=config.num_shards):
+            outcomes = executor.map(run_shard_task_with_metrics, tasks)
+        partials = [partial for partial, _snapshot in outcomes]
+        # Shard-id order, the same fixed tree the result merge uses, so
+        # the combined telemetry is independent of worker scheduling.
+        absorb_snapshots(registry, [snapshot for _partial, snapshot in outcomes])
+    with _metrics_span("engine.merge"):
+        merged = merge_partials(partials)
     return EngineResult(
         scenario=config.scenario,
         num_shards=config.num_shards,

@@ -47,6 +47,7 @@ from typing import Callable, Dict, Iterable, Iterator, List, Tuple, Union
 from repro.computation.streams import INSERT, EventLike, StreamEvent, as_stream_event
 from repro.exceptions import EngineError
 from repro.graph.bipartite import Vertex
+from repro.obs.registry import active as _metrics_active
 from repro.seeds import stable_hash
 
 #: The two partitioning strategies (see module docstring).
@@ -179,49 +180,64 @@ class StreamSharder:
         consumed = 0
         run: List[Tuple[Vertex, Vertex]] = []
         room = 0
-        for item in events:
-            event = as_stream_event(item)
-            if event.is_epoch:
-                before = consumed
-                consumed += num_shards
-                # This shard's copy of the broadcast is the
-                # (shard_id+1)-th; a checkpoint taken after it covers it.
-                if before + shard_id + 1 <= skip:
+        # Per-shard load telemetry: events this shard actually owns
+        # (fast-forwarded ones excluded - their loads were counted by the
+        # original pass).  One key per shard id, so snapshots merged
+        # across workers never collide.  Disabled cost: one local ``is
+        # not None`` check per owned event.
+        registry = _metrics_active()
+        own_events = 0
+        try:
+            for item in events:
+                event = as_stream_event(item)
+                if event.is_epoch:
+                    before = consumed
+                    consumed += num_shards
+                    # This shard's copy of the broadcast is the
+                    # (shard_id+1)-th; a checkpoint taken after it covers it.
+                    if before + shard_id + 1 <= skip:
+                        continue
+                    if registry is not None:
+                        own_events += 1
+                    if run:
+                        yield before, run
+                        run = []
+                    yield consumed, event
+                    continue
+                consumed += 1
+                thread = event.thread
+                if consumed <= skip:
+                    # Keep the round-robin table identical to the original
+                    # pass; the consumers' state already covers this event.
+                    shard_of(thread)
+                    continue
+                if shard_of(thread) != shard_id:
+                    continue
+                if registry is not None:
+                    own_events += 1
+                if event.kind == INSERT:
+                    if not run:
+                        room = cap()
+                    run.append((thread, event.obj))
+                    if len(run) >= room:
+                        yield consumed, run
+                        run = []
                     continue
                 if run:
-                    yield before, run
+                    yield consumed - 1, run
                     run = []
                 yield consumed, event
-                continue
-            consumed += 1
-            thread = event.thread
-            if consumed <= skip:
-                # Keep the round-robin table identical to the original
-                # pass; the consumers' state already covers this event.
-                shard_of(thread)
-                continue
-            if shard_of(thread) != shard_id:
-                continue
-            if event.kind == INSERT:
-                if not run:
-                    room = cap()
-                run.append((thread, event.obj))
-                if len(run) >= room:
-                    yield consumed, run
-                    run = []
-                continue
+            if consumed < skip:
+                raise EngineError(
+                    f"stream exhausted while fast-forwarding shard {shard_id} to "
+                    f"event {skip}; the checkpoint does not match this stream"
+                )
             if run:
-                yield consumed - 1, run
-                run = []
-            yield consumed, event
-        if consumed < skip:
-            raise EngineError(
-                f"stream exhausted while fast-forwarding shard {shard_id} to "
-                f"event {skip}; the checkpoint does not match this stream"
-            )
-        if run:
-            yield consumed, run
-        yield consumed, None
+                yield consumed, run
+            yield consumed, None
+        finally:
+            if registry is not None and own_events:
+                registry.add(f"sharder.shard[{shard_id}].events", own_events)
 
     def select(
         self, events: Iterable[EventLike], shard_id: int

@@ -1,0 +1,70 @@
+"""Cross-process telemetry plumbing for the sharded engine.
+
+Engine workers are spawned processes: the parent's installed
+:class:`~repro.obs.registry.MetricsRegistry` does not exist over there,
+and nothing about worker scheduling may leak into the merged telemetry
+(the same discipline the result merge follows).  The bridge:
+
+* :func:`run_shard_task_with_metrics` wraps the normal shard task.  It
+  installs a fresh per-shard registry (origin ``shard-N``), runs the
+  shard, restores whatever was installed before, and returns the
+  partial *plus* a picklable snapshot of everything the shard observed.
+  Because the wrapper runs identically in-process (``--jobs 1``) and in
+  a worker, the merged telemetry's structure is independent of the
+  worker count - only the latencies themselves differ.
+* :func:`absorb_snapshots` folds the snapshots into the parent registry
+  in the order given; :func:`~repro.engine.runner.run_engine` passes
+  them in shard-id order, mirroring the result merge tree.
+
+This module is the engine's one sanctioned reader of telemetry state:
+lint rule C206 forbids snapshot/merge calls in result-path modules and
+exempts exactly this file (see ``TELEMETRY_BRIDGE_MODULES`` in
+:mod:`repro.lint.contracts`).  The exemption is safe because nothing
+here feeds a value derived from telemetry back into the shard run - the
+snapshot is taken after ``run_shard`` returns and travels strictly
+outward.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from repro.engine.results import PartialResult
+from repro.engine.runner import EngineConfig, run_shard
+from repro.obs.registry import MetricsRegistry, MetricsSnapshot, install
+
+__all__ = ["absorb_snapshots", "run_shard_task_with_metrics"]
+
+
+def run_shard_task_with_metrics(
+    task: Tuple[EngineConfig, int],
+) -> Tuple[PartialResult, MetricsSnapshot]:
+    """Run one shard under a fresh per-shard registry; return both outputs.
+
+    Module-level and picklable, like
+    :func:`~repro.engine.runner.run_shard_task`, so the process pool can
+    ship it by name.  The previous registry (the parent's, on the
+    in-process path; ``None`` in a spawned worker) is restored in a
+    ``finally`` so an interrupt cannot leave shard telemetry installed.
+    """
+    config, shard_id = task
+    registry = MetricsRegistry(origin=f"shard-{shard_id}")
+    previous = install(registry)
+    try:
+        partial = run_shard(config, shard_id)
+    finally:
+        install(previous)
+    return partial, registry.snapshot()
+
+
+def absorb_snapshots(
+    registry: MetricsRegistry, snapshots: Iterable[MetricsSnapshot]
+) -> None:
+    """Fold worker snapshots into ``registry`` in the order given.
+
+    The caller fixes the order (the engine uses shard-id order), so the
+    combined registry - like the merged result - never depends on which
+    worker finished first.
+    """
+    for snapshot in snapshots:
+        registry.merge_snapshot(snapshot)

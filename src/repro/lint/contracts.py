@@ -19,7 +19,11 @@ violate silently:
 * ``C205`` - a ``ClockKernel`` method that mutates clock state or
   component layout must touch the resident-array cache (invalidate,
   evict, or assign it) or be listed in ``CACHE_SAFE_METHODS``, or the
-  numpy backend serves stale vectors from its cross-batch cache.
+  numpy backend serves stale vectors from its cross-batch cache;
+* ``C206`` - result-path modules may *write* telemetry (counters,
+  spans) but never *read* it back: a branch on a metrics value makes
+  results a function of timing, breaking fingerprint identity between
+  telemetry-on and telemetry-off runs.
 """
 
 from __future__ import annotations
@@ -419,10 +423,134 @@ class KernelCacheInvalidationRule(Rule):
         return False
 
 
+#: Module path prefixes whose code feeds the fingerprint (directly or via
+#: merged partials).  Telemetry in these modules is write-only: counters
+#: and spans may be *recorded*, never read back into control flow.
+RESULT_PATH_PREFIXES = (
+    "src/repro/analysis/",
+    "src/repro/baselines/",
+    "src/repro/computation/",
+    "src/repro/core/",
+    "src/repro/engine/",
+    "src/repro/graph/",
+    "src/repro/offline/",
+    "src/repro/online/",
+    "src/repro/runtime/",
+)
+
+#: The sanctioned crossings: modules whose whole job is to carry metrics
+#: *out* of result paths (worker-side snapshotting for the spawn pool).
+#: Everything they read is merged after the partial results are final, so
+#: the reads cannot feed back into them.
+TELEMETRY_BRIDGE_MODULES = ("src/repro/engine/telemetry.py",)
+
+#: ``MetricsRegistry``/``MetricsSnapshot`` methods that *read* telemetry
+#: state.  Write-side methods (``add``, ``gauge``, ``observe``, ``span``,
+#: ``record_span``) are deliberately absent - recording is the point.
+_TELEMETRY_READ_METHODS = frozenset(
+    {
+        "counter_value",
+        "counters",
+        "gauge_value",
+        "gauges",
+        "histogram",
+        "histograms",
+        "merge_snapshot",
+        "percentile",
+        "snapshot",
+        "span_records",
+        "span_totals",
+    }
+)
+
+
+class TelemetryReadRule(Rule):
+    """Result-path modules must not read telemetry back.
+
+    The observability contract is one-directional: hot paths *emit*
+    counters, histograms and spans, and only the CLI/exporter layer (and
+    the engine's snapshot bridge) ever looks at them.  The moment a
+    result-path module branches on a metrics value - "skip the cache
+    when the hit rate is low", "rechunk when p99 regresses" - results
+    become a function of wall-clock timing, and the telemetry-on and
+    telemetry-off fingerprints diverge.  That failure is dynamic-test
+    resistant (it needs the adaptive branch to actually fire), so it is
+    enforced statically instead.
+
+    In modules under :data:`RESULT_PATH_PREFIXES` the rule flags:
+
+    * any import of ``repro.obs.exporters`` (the read/format layer has
+      no business inside a result path), and
+    * calls to registry/snapshot *read* methods (``snapshot``,
+      ``merge_snapshot``, ``counter_value``, ``percentile``, ...) in
+      modules that import ``repro.obs`` - the import gate keeps the
+      method-name match from firing on unrelated objects.
+
+    Modules in :data:`TELEMETRY_BRIDGE_MODULES` are exempt: they exist
+    to snapshot worker registries for the merge, and run strictly after
+    the partial results they travel with are sealed.
+    """
+
+    id = "C206"
+    name = "telemetry-read-in-result-path"
+    summary = "result-path module reads telemetry state back"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not any(ctx.path.startswith(prefix) for prefix in RESULT_PATH_PREFIXES):
+            return
+        if ctx.path in TELEMETRY_BRIDGE_MODULES:
+            return
+        imports_obs = any(
+            dotted == "repro.obs" or dotted.startswith("repro.obs.")
+            for dotted in ctx.aliases.values()
+        )
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                for dotted in self._imported_modules(node):
+                    if dotted == "repro.obs.exporters" or dotted.startswith(
+                        "repro.obs.exporters."
+                    ):
+                        yield _finding(
+                            ctx,
+                            node,
+                            self,
+                            "repro.obs.exporters imported in a result-path "
+                            "module; exporting/reading telemetry belongs in "
+                            "the CLI layer, not where results are computed",
+                        )
+            elif (
+                imports_obs
+                and isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _TELEMETRY_READ_METHODS
+            ):
+                yield _finding(
+                    ctx,
+                    node,
+                    self,
+                    f"telemetry read '.{node.func.attr}(...)' in a "
+                    "result-path module; hot paths may record metrics but "
+                    "never read them back (results must not depend on "
+                    "timing) - route reads through the CLI layer or a "
+                    "TELEMETRY_BRIDGE_MODULES entry",
+                )
+
+    @staticmethod
+    def _imported_modules(node: ast.AST) -> Iterator[str]:
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                yield item.name
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            for item in node.names:
+                yield node.module
+                yield f"{node.module}.{item.name}"
+
+
 CONTRACT_RULES = (
     MechanismBatchGuardRule,
     KernelSurfaceRule,
     EngineConfigSignatureRule,
     ScenarioSeedRule,
     KernelCacheInvalidationRule,
+    TelemetryReadRule,
 )

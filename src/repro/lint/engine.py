@@ -21,6 +21,16 @@ and accepted*; the comment is the justification's home, e.g.::
 
 Pre-existing findings that should be burned down over time belong in the
 baseline file instead (:mod:`repro.lint.baseline`).
+
+Path policies
+-------------
+Some rules are *scoped out* of whole subtrees rather than suppressed
+line-by-line: :data:`PATH_POLICIES` maps a rule id to path prefixes where
+its findings are dropped wholesale.  This is for subsystems whose charter
+is to do the thing the rule forbids - the telemetry registry in
+``src/repro/obs/`` exists to anchor spans to wall time, so a ``noqa`` on
+every clock read there would be ritual, not information.  The policy
+table keeps the carve-out in one auditable place instead.
 """
 
 from __future__ import annotations
@@ -49,6 +59,23 @@ _SET_METHODS = frozenset(
 
 #: Binary operators that preserve set-ness when an operand is a set.
 _SET_BINOPS = (ast.BitAnd, ast.BitOr, ast.Sub, ast.BitXor)
+
+#: Rule id -> path prefixes (posix, cwd-relative) where that rule's
+#: findings are dropped.  The telemetry layer is the one place wall-clock
+#: reads are the charter: ``MetricsRegistry`` anchors every span/export to
+#: a wall epoch, and the determinism contract is enforced one level up
+#: (C206 keeps registry *reads* out of result paths entirely).
+PATH_POLICIES: Dict[str, Tuple[str, ...]] = {
+    "D104": ("src/repro/obs/",),
+}
+
+
+def policy_exempt(finding: "Finding") -> bool:
+    """Whether a path policy scopes ``finding``'s rule out of its file."""
+    prefixes = PATH_POLICIES.get(finding.rule)
+    if not prefixes:
+        return False
+    return any(finding.path.startswith(prefix) for prefix in prefixes)
 
 
 @dataclass(frozen=True, order=True)
@@ -361,7 +388,7 @@ def check_file(path: Path, rules: Iterable[Rule]) -> List[Finding]:
     findings: List[Finding] = []
     for rule in rules:
         for finding in rule.check(ctx):
-            if not ctx.suppressed(finding):
+            if not ctx.suppressed(finding) and not policy_exempt(finding):
                 findings.append(finding)
     return findings
 

@@ -1,0 +1,39 @@
+"""Deterministic telemetry: the write-side surface of :mod:`repro.obs`.
+
+Re-exports the registry primitives only.  The exporters (summary table,
+metrics JSON, JSONL log, Chrome trace) live in :mod:`repro.obs.exporters`
+and must be imported explicitly by operator surfaces - keeping this
+package importable from the kernel without touching the analysis layer,
+and keeping the telemetry *read* side out of every module that merely
+instruments (lint rule C206 polices the exceptions).
+"""
+
+from repro.obs.registry import (
+    HISTOGRAM_COMPRESSION,
+    MetricsRegistry,
+    MetricsSnapshot,
+    Span,
+    active,
+    add,
+    disable,
+    enable,
+    gauge,
+    install,
+    observe,
+    span,
+)
+
+__all__ = [
+    "HISTOGRAM_COMPRESSION",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "Span",
+    "active",
+    "add",
+    "disable",
+    "enable",
+    "gauge",
+    "install",
+    "observe",
+    "span",
+]

@@ -1,0 +1,381 @@
+"""Process-local telemetry: counters, gauges, latency histograms, spans.
+
+The repo's determinism contract (``ROADMAP``, lint rule D104) bans
+wall-clock reads from every module that can influence a result.  This
+package is the one sanctioned home for them: instrumented code *writes*
+observations into a :class:`MetricsRegistry` installed for the current
+process, and only operator-facing surfaces (the CLI, benchmarks, the
+exporters in :mod:`repro.obs.exporters`) ever *read* them back.  Lint
+rule C206 enforces the read side; the D104 carve-out for ``src/repro/obs/``
+covers the write side's clock anchor.  The slogan in the engine docs:
+telemetry is observed, never observed-from.
+
+Design constraints, in priority order:
+
+* **Zero result influence.**  Nothing in this module returns information
+  derived from a clock to its callers beyond the :class:`Span` duration,
+  and no result-path module may read even that (rule C206).  Every
+  instrumentation site is responsible for keeping its observable
+  behaviour identical whether a registry is installed or not.
+* **Near-zero disabled cost.**  The hot-path pattern is one module-level
+  ``active()`` call per batch (not per event) followed by ``if registry
+  is not None`` guards; the module-level helpers (:func:`add`,
+  :func:`observe`, :func:`span`, ...) exist for cold paths where a
+  single global read per call is already negligible.  :func:`span`
+  returns a shared no-op context manager when disabled, so ``with
+  span(...)`` costs two method calls and no clock read.
+* **Import lightness.**  ``repro.core.kernel`` imports this module, and
+  ``repro.analysis`` transitively imports the kernel - so this module
+  must not import anything under ``repro`` at import time.  The
+  histogram backend (:class:`~repro.analysis.metrics.QuantileSketch`)
+  is imported lazily at first use.
+* **Mergeability.**  Engine workers are spawned processes; each builds
+  its own registry and ships a picklable :class:`MetricsSnapshot` back
+  (see :mod:`repro.engine.telemetry`).  Counters sum, gauges carry
+  per-origin keys, histograms merge sketch-exactly, and spans land on a
+  common timeline anchored by each registry's wall epoch.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "HISTOGRAM_COMPRESSION",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "Span",
+    "active",
+    "add",
+    "disable",
+    "enable",
+    "gauge",
+    "install",
+    "observe",
+    "span",
+]
+
+#: t-digest compression of every latency histogram.  One shared value so
+#: snapshots merge unconditionally (``QuantileSketch.merge`` requires
+#: equal compressions).
+HISTOGRAM_COMPRESSION = 64
+
+#: One recorded span: ``(origin, name, start_s, duration_s, attrs)``.
+#: ``start_s`` is seconds since the *owning registry's* creation for
+#: local records, re-anchored onto the merging registry's timeline by
+#: :meth:`MetricsRegistry.merge_snapshot`; ``attrs`` is a sorted tuple
+#: of ``(key, value)`` pairs.
+SpanRecord = Tuple[str, str, float, float, Tuple[Tuple[str, Any], ...]]
+
+
+def _new_sketch() -> Any:
+    """A fresh histogram backend.
+
+    Imported lazily: ``repro.analysis`` transitively imports the kernel,
+    which imports this module - a top-level import here would close the
+    cycle.  By the time anything *observes* a latency, the interpreter
+    is far past import time and the cycle cannot bite.
+    """
+    from repro.analysis.metrics import QuantileSketch
+
+    return QuantileSketch(HISTOGRAM_COMPRESSION)
+
+
+class MetricsSnapshot:
+    """A picklable, registry-independent copy of one registry's state.
+
+    Produced by :meth:`MetricsRegistry.snapshot` (typically in a worker
+    process) and consumed by :meth:`MetricsRegistry.merge_snapshot` in
+    the parent.  Plain attributes only, so the default pickle protocol
+    carries it across a spawn boundary unchanged.
+    """
+
+    def __init__(
+        self,
+        origin: str,
+        wall_epoch: float,
+        counters: Dict[str, int],
+        gauges: Dict[str, float],
+        histograms: Dict[str, Any],
+        spans: List[SpanRecord],
+    ) -> None:
+        self.origin = origin
+        self.wall_epoch = wall_epoch
+        self.counters = counters
+        self.gauges = gauges
+        self.histograms = histograms
+        self.spans = spans
+
+
+class Span:
+    """One timed region; records itself into its registry on exit.
+
+    ``duration`` is populated on ``__exit__`` so cold-path callers (the
+    CLI's elapsed line) can reuse the measurement without a second clock
+    read.  Result-path modules must not read it (rule C206).
+    """
+
+    __slots__ = ("name", "attrs", "duration", "_registry", "_start")
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        name: str,
+        attrs: Tuple[Tuple[str, Any], ...],
+    ) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.duration = 0.0
+        self._registry = registry
+        self._start = 0.0
+
+    def __enter__(self) -> "Span":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        self.duration = time.perf_counter() - self._start
+        self._registry.record_span(self.name, self._start, self.duration, self.attrs)
+        return False
+
+
+class _NullSpan:
+    """The disabled-mode span: enters and exits without touching a clock."""
+
+    __slots__ = ()
+
+    #: Mirrors :attr:`Span.duration` so cold-path callers need no branch.
+    duration = 0.0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        return False
+
+
+#: Shared no-op instance handed out by :func:`span` when disabled.
+NULL_SPAN = _NullSpan()
+
+
+def _sorted_attrs(attrs: Dict[str, Any]) -> Tuple[Tuple[str, Any], ...]:
+    """Canonicalise span attributes: sorted, hashable-by-construction."""
+    return tuple(sorted(attrs.items()))
+
+
+class MetricsRegistry:
+    """Counters, gauges, latency histograms and spans for one process.
+
+    ``origin`` labels every span this registry records (``main`` for the
+    driving process, ``shard-N`` for engine workers) and becomes the
+    process lane in the Chrome trace export.  The two epochs taken at
+    construction - one wall clock, one monotonic - anchor the span
+    timeline: spans store starts relative to the monotonic epoch, and
+    :meth:`merge_snapshot` uses the wall epochs to line up registries
+    created in different processes.  This is the package's only wall
+    clock read (the D104 carve-out; the value never reaches a result).
+    """
+
+    def __init__(self, origin: str = "main") -> None:
+        self.origin = origin
+        self.wall_epoch = time.time()
+        self._perf_epoch = time.perf_counter()
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, Any] = {}
+        self._spans: List[SpanRecord] = []
+
+    # -- write API (instrumentation sites) --------------------------------
+
+    def add(self, name: str, amount: int = 1) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        counters = self._counters
+        counters[name] = counters.get(name, 0) + amount
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        self._gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Fold ``value`` into histogram ``name`` (created on first use)."""
+        sketch = self._histograms.get(name)
+        if sketch is None:
+            sketch = self._histograms[name] = _new_sketch()
+        sketch.update(float(value))
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        """A context manager timing one region under ``name``."""
+        return Span(self, name, _sorted_attrs(attrs))
+
+    def record_span(
+        self,
+        name: str,
+        start: float,
+        duration: float,
+        attrs: Tuple[Tuple[str, Any], ...] = (),
+    ) -> None:
+        """Record an explicitly timed region.
+
+        ``start`` is a raw ``time.perf_counter()`` reading taken by the
+        caller; it is stored relative to this registry's monotonic epoch
+        so records survive pickling into another process's timeline.
+        """
+        self._spans.append(
+            (self.origin, name, start - self._perf_epoch, duration, tuple(attrs))
+        )
+
+    # -- read API (operator surfaces only; see lint rule C206) ------------
+
+    def counter_value(self, name: str) -> int:
+        """Current value of counter ``name`` (0 when never incremented)."""
+        return self._counters.get(name, 0)
+
+    def gauge_value(self, name: str, default: float = 0.0) -> float:
+        """Current value of gauge ``name``."""
+        return self._gauges.get(name, default)
+
+    def counters(self) -> Dict[str, int]:
+        """All counters, copied, in sorted-name order."""
+        return {name: self._counters[name] for name in sorted(self._counters)}
+
+    def gauges(self) -> Dict[str, float]:
+        """All gauges, copied, in sorted-name order."""
+        return {name: self._gauges[name] for name in sorted(self._gauges)}
+
+    def histogram(self, name: str) -> Optional[Any]:
+        """The :class:`QuantileSketch` behind histogram ``name``, if any."""
+        return self._histograms.get(name)
+
+    def histograms(self) -> Iterator[Tuple[str, Any]]:
+        """``(name, sketch)`` pairs in sorted-name order."""
+        for name in sorted(self._histograms):
+            yield name, self._histograms[name]
+
+    def percentile(self, name: str, p: float) -> Optional[float]:
+        """Percentile ``p`` (0-100) of histogram ``name``, if populated."""
+        sketch = self._histograms.get(name)
+        if sketch is None or sketch.count == 0:
+            return None
+        return sketch.percentile(p)
+
+    def span_records(self) -> List[SpanRecord]:
+        """Every recorded span, in recording/merge order."""
+        return list(self._spans)
+
+    def span_totals(self) -> Dict[str, Tuple[int, float, float]]:
+        """Per span name: ``(count, total seconds, max seconds)``."""
+        totals: Dict[str, Tuple[int, float, float]] = {}
+        for _origin, name, _start, duration, _attrs in self._spans:
+            count, total, peak = totals.get(name, (0, 0.0, 0.0))
+            totals[name] = (count + 1, total + duration, max(peak, duration))
+        return {name: totals[name] for name in sorted(totals)}
+
+    def snapshot(self) -> MetricsSnapshot:
+        """A picklable copy of everything recorded so far.
+
+        Histogram sketches are handed over by reference: the intended
+        protocol is snapshot-then-discard (a worker snapshots once, at
+        the end of its task), and pickling deep-copies them anyway on
+        the only path where the source registry outlives the call.
+        """
+        return MetricsSnapshot(
+            origin=self.origin,
+            wall_epoch=self.wall_epoch,
+            counters=dict(self._counters),
+            gauges=dict(self._gauges),
+            histograms=dict(self._histograms),
+            spans=list(self._spans),
+        )
+
+    def merge_snapshot(self, snap: MetricsSnapshot) -> None:
+        """Fold a worker's snapshot into this registry.
+
+        Counters sum; gauges overwrite (instrumentation keys gauges by
+        origin - ``engine.shard[3].inserts`` - so cross-process keys are
+        disjoint by construction); histograms merge sketch-exactly; the
+        snapshot's spans are re-anchored from its wall epoch onto this
+        registry's, keeping their origin label.  Merge order is the
+        caller's responsibility - the engine merges in shard-id order so
+        the combined registry is independent of worker scheduling.
+        """
+        for name in sorted(snap.counters):
+            self.add(name, snap.counters[name])
+        for name in sorted(snap.gauges):
+            self._gauges[name] = snap.gauges[name]
+        for name in sorted(snap.histograms):
+            sketch = snap.histograms[name]
+            mine = self._histograms.get(name)
+            self._histograms[name] = sketch if mine is None else mine.merge(sketch)
+        offset = snap.wall_epoch - self.wall_epoch
+        for origin, name, start, duration, attrs in snap.spans:
+            self._spans.append((origin, name, start + offset, duration, attrs))
+
+
+#: The installed registry, or ``None`` when telemetry is disabled (the
+#: common case - every instrumentation site's fast path).
+_ACTIVE: Optional[MetricsRegistry] = None
+
+
+def active() -> Optional[MetricsRegistry]:
+    """The installed registry, or ``None`` when telemetry is disabled.
+
+    Hot loops call this once per batch, bind the result, and guard each
+    observation with ``if registry is not None`` - the whole disabled
+    cost is one global read per batch.
+    """
+    return _ACTIVE
+
+
+def install(registry: Optional[MetricsRegistry]) -> Optional[MetricsRegistry]:
+    """Install ``registry`` (or ``None``) and return the previous one.
+
+    The save/restore primitive: wrappers that must not leak telemetry
+    state (engine worker tasks, the CLI) install around their work and
+    re-install the previous value in a ``finally``.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = registry
+    return previous
+
+
+def enable(registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+    """Install ``registry`` (a fresh one by default) and return it."""
+    chosen = registry if registry is not None else MetricsRegistry()
+    install(chosen)
+    return chosen
+
+
+def disable() -> Optional[MetricsRegistry]:
+    """Uninstall and return the current registry, if any."""
+    return install(None)
+
+
+def add(name: str, amount: int = 1) -> None:
+    """Increment a counter on the installed registry; no-op when disabled."""
+    registry = _ACTIVE
+    if registry is not None:
+        registry.add(name, amount)
+
+
+def gauge(name: str, value: float) -> None:
+    """Set a gauge on the installed registry; no-op when disabled."""
+    registry = _ACTIVE
+    if registry is not None:
+        registry.gauge(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    """Update a histogram on the installed registry; no-op when disabled."""
+    registry = _ACTIVE
+    if registry is not None:
+        registry.observe(name, value)
+
+
+def span(name: str, **attrs: Any) -> Any:
+    """A timing context manager; the shared no-op span when disabled."""
+    registry = _ACTIVE
+    if registry is None:
+        return NULL_SPAN
+    return registry.span(name, **attrs)

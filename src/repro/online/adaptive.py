@@ -41,12 +41,14 @@ every live-window event pair across retirements and rotations.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Dict, Optional, Tuple
 
 from repro.core.timestamping import EpochClock
 from repro.exceptions import OnlineMechanismError
 from repro.graph.bipartite import BipartiteGraph, Vertex
 from repro.graph.incremental import DynamicMatching
+from repro.obs.registry import active as _metrics_active
 from repro.online.base import (
     OBJECT,
     THREAD,
@@ -326,6 +328,24 @@ class LifecycleClockDriver:
     def live_tokens(self) -> Tuple[int, ...]:
         return self._clock.live_tokens()
 
+    def _rotate(self, components) -> None:
+        """Rotate the clock, observing the latency when telemetry is on.
+
+        Rotation replays the whole live window (the driver's dominant
+        boundary cost - ROADMAP item 5's p99 target), so every rotation
+        goes through this one timed funnel.  The measurement changes
+        nothing the clock computes: the registry, when installed, only
+        *receives* the duration.
+        """
+        registry = _metrics_active()
+        if registry is None:
+            self._clock.rotate(components)
+            return
+        began = perf_counter()
+        self._clock.rotate(components)
+        registry.add("driver.rotations")
+        registry.observe("driver.rotation_s", perf_counter() - began)
+
     # -- lifecycle ----------------------------------------------------------
     def observe(self, thread: Vertex, obj: Vertex) -> int:
         """Reveal one event; returns its :class:`EpochClock` token."""
@@ -334,12 +354,15 @@ class LifecycleClockDriver:
         if self._mechanism.retired_total != retired_before:
             # No current mechanism retires on observe, but the protocol
             # does not forbid it; fall back to a full rotation.
-            self._clock.rotate(self._mechanism.components())
+            self._rotate(self._mechanism.components())
         elif added is not None:
             if added in self._mechanism.thread_components:
                 self._clock.extend(thread_components=(added,))
             else:
                 self._clock.extend(object_components=(added,))
+            registry = _metrics_active()
+            if registry is not None:
+                registry.add("driver.extensions")
         return self._clock.observe(thread, obj)
 
     def expire(self, thread: Vertex, obj: Vertex) -> int:
@@ -347,17 +370,27 @@ class LifecycleClockDriver:
         retired_before = self._mechanism.retired_total
         self._mechanism.expire(thread, obj)
         token = self._clock.expire(thread, obj)
-        if self._mechanism.retired_total != retired_before:
-            self._clock.rotate(self._mechanism.components())
+        retired_now = self._mechanism.retired_total
+        if retired_now != retired_before:
+            registry = _metrics_active()
+            if registry is not None:
+                registry.add("driver.retirements", retired_now - retired_before)
+            self._rotate(self._mechanism.components())
         return token
 
     def end_epoch(self) -> Tuple[Vertex, ...]:
         """Deliver an epoch boundary; rotates the clock if the set changed."""
         before = self._mechanism.components()
+        registry = _metrics_active()
+        began = perf_counter() if registry is not None else 0.0
         retired = self._mechanism.end_epoch()
         after = self._mechanism.components()
         if after != before:
-            self._clock.rotate(after)
+            self._rotate(after)
+        if registry is not None:
+            registry.observe("driver.end_epoch_s", perf_counter() - began)
+            if retired:
+                registry.add("driver.retirements", len(retired))
         return retired
 
     # -- causality queries --------------------------------------------------

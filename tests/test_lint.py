@@ -709,6 +709,171 @@ class TestKernelCacheInvalidation:
         assert check_file(path, rules) == []
 
 
+def lint_at(tmp_path, monkeypatch, relpath, source, select=None):
+    """Lint one snippet *at a given repo-relative path* (for path-scoped
+    rules: C206's result-path prefixes, the D104 obs carve-out)."""
+    monkeypatch.chdir(tmp_path)
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    rules = [rule() for rule in ALL_RULES if select is None or rule.id in select]
+    return check_file(Path(relpath), rules)
+
+
+# ---------------------------------------------------------------------------
+# C206 - telemetry reads stay out of result paths
+# ---------------------------------------------------------------------------
+class TestTelemetryReadInResultPath:
+    def test_exporter_import_in_result_path_flagged(self, tmp_path, monkeypatch):
+        findings = lint_at(
+            tmp_path,
+            monkeypatch,
+            "src/repro/core/fastpath.py",
+            """
+            from repro.obs import exporters
+
+            def report(registry):
+                return exporters.metrics_document(registry)
+            """,
+        )
+        assert rule_ids(findings) == ["C206"]
+        assert "exporters" in findings[0].message
+
+    def test_registry_read_in_result_path_flagged(self, tmp_path, monkeypatch):
+        findings = lint_at(
+            tmp_path,
+            monkeypatch,
+            "src/repro/engine/scheduler.py",
+            """
+            from repro.obs.registry import active
+
+            def should_rechunk():
+                registry = active()
+                return registry.counter_value("engine.chunks") > 100
+            """,
+        )
+        assert rule_ids(findings) == ["C206"]
+        assert "counter_value" in findings[0].message
+
+    def test_telemetry_writes_in_result_path_allowed(self, tmp_path, monkeypatch):
+        findings = lint_at(
+            tmp_path,
+            monkeypatch,
+            "src/repro/engine/scheduler.py",
+            """
+            from repro.obs.registry import active
+
+            def run_chunk(registry=None):
+                registry = active()
+                if registry is not None:
+                    registry.add("engine.chunks")
+                    registry.observe("engine.chunk_s", 0.5)
+                    with registry.span("engine.chunk"):
+                        pass
+            """,
+        )
+        assert findings == []
+
+    def test_read_method_names_without_obs_import_not_flagged(
+        self, tmp_path, monkeypatch
+    ):
+        # .percentile() on a QuantileSketch (analysis/metrics.py shape):
+        # the module never imports repro.obs, so the name match must not
+        # fire on unrelated objects.
+        findings = lint_at(
+            tmp_path,
+            monkeypatch,
+            "src/repro/analysis/summaries.py",
+            """
+            def summarise(sketch):
+                return sketch.percentile(50.0), sketch.snapshot()
+            """,
+        )
+        assert findings == []
+
+    def test_bridge_module_exempt(self, tmp_path, monkeypatch):
+        findings = lint_at(
+            tmp_path,
+            monkeypatch,
+            "src/repro/engine/telemetry.py",
+            """
+            from repro.obs.registry import MetricsRegistry
+
+            def capture(registry):
+                return registry.snapshot()
+
+            def absorb(registry, snapshots):
+                for snapshot in snapshots:
+                    registry.merge_snapshot(snapshot)
+            """,
+        )
+        assert findings == []
+
+    def test_cli_layer_reads_freely(self, tmp_path, monkeypatch):
+        findings = lint_at(
+            tmp_path,
+            monkeypatch,
+            "src/repro/cli.py",
+            """
+            from repro.obs import MetricsRegistry
+            from repro.obs import exporters
+
+            def show(registry):
+                print(exporters.format_summary(registry))
+                return registry.counter_value("engine.chunks")
+            """,
+        )
+        assert findings == []
+
+    def test_repo_result_paths_are_write_only(self):
+        rules = [rule() for rule in ALL_RULES if rule.id == "C206"]
+        from repro.lint import run_lint as _run_lint
+        import os
+
+        cwd = os.getcwd()
+        os.chdir(REPO_ROOT)
+        try:
+            findings = _run_lint(["src"], rules)
+        finally:
+            os.chdir(cwd)
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# D104 path policy - the obs subtree owns its wall-clock anchor
+# ---------------------------------------------------------------------------
+class TestWallClockPathPolicy:
+    def test_wall_clock_in_obs_subtree_exempt(self, tmp_path, monkeypatch):
+        findings = lint_at(
+            tmp_path,
+            monkeypatch,
+            "src/repro/obs/registry.py",
+            """
+            import time
+
+            def anchor():
+                return time.time()
+            """,
+            select={"D104"},
+        )
+        assert findings == []
+
+    def test_wall_clock_elsewhere_still_flagged(self, tmp_path, monkeypatch):
+        findings = lint_at(
+            tmp_path,
+            monkeypatch,
+            "src/repro/engine/runner.py",
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+            select={"D104"},
+        )
+        assert rule_ids(findings) == ["D104"]
+
+
 # ---------------------------------------------------------------------------
 # noqa suppression
 # ---------------------------------------------------------------------------
