@@ -92,6 +92,7 @@ if SMOKE:
     ENGINE_SHARDS = 4
     ENGINE_CHUNK = 500
     ENGINE_JOBS = [1, 2]
+    ENGINE_WORKERS = [1, 2]
     ENGINE_NODES = 40
     PIPELINE_EVENTS = 100_000
     PIPELINE_NODES = 150
@@ -139,8 +140,13 @@ else:
     ENGINE_SHARDS = 8
     #: Inserts per chunk (the checkpoint granularity).
     ENGINE_CHUNK = 100_000
-    #: Worker counts swept by the scaling benchmark.
+    #: Legacy one-task-per-shard job counts (the old-style mode the
+    #: scaling benchmark keeps one leg of, for cross-mode fingerprint
+    #: identity).
     ENGINE_JOBS = [1, 2, 4, 8]
+    #: Pool sizes swept by the scaling benchmark's ``workers`` legs (one
+    #: stream pass per worker; the mode that actually scales).
+    ENGINE_WORKERS = [1, 2, 4, 8]
     #: Threads/objects per side of the engine-scaling stream.
     ENGINE_NODES = 200
     #: Insert events in the batched-pipeline head-to-head (the ROADMAP's

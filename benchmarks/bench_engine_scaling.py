@@ -1,65 +1,89 @@
-"""Extra experiment E9: sharded engine throughput vs worker count.
+"""Extra experiment E9: sharded engine throughput vs worker-pool size.
 
 The ROADMAP's scaling item asks for a benchmark that pushes the dynamic
 streaming machinery to millions of events; this is it.  One thread-churn
 configuration (1.2M inserts in the full run, shrunken under ``--smoke``)
-is executed by the sharded engine at increasing ``jobs`` counts, and the
-table reports events/sec per worker count plus the speedup over the
-serial backend.
+is executed serially (the legacy one-task-per-shard ``jobs=1`` mode,
+which regenerates the stream once per *shard*) and then at increasing
+``workers`` pool sizes (one shard group and one stream pass per
+*worker*); the table reports events/sec per leg plus the speedup over
+serial.  One old-style ``jobs=2`` leg rides along so the cross-mode
+fingerprint identity stays measured, not assumed.
 
 Two properties are asserted while the numbers are collected:
 
-* every worker count produces a bit-identical merged result (the
-  engine's central determinism contract - the fingerprint is the proof);
-* the stride-sampled trajectories and pooled ratio statistics are
-  populated for every mechanism, i.e. the merged partials actually carry
-  the metrics the analysis layer consumes.
+* every leg - serial, every ``workers`` value, old-style ``jobs`` -
+  produces a bit-identical merged result (the engine's central
+  determinism contract; the fingerprint is the proof);
+* above :data:`SPEEDUP_ASSERT_FLOOR` inserts per shard, the best
+  ``workers`` leg must clear :data:`MIN_WORKER_SPEEDUP` (2x serial) -
+  and :data:`MIN_WORKER_SPEEDUP_MULTICORE` (3x) when the machine has
+  four or more cores.  This is the real scaling assertion that replaced
+  the old ``spawn_dominated`` skip: the spawn-per-task backend could
+  only ever *lose* to serial on small runs, so the best this benchmark
+  could do was refuse to assert; the pooled engine is expected to win.
 
-Scaling expectation, for reading the table rather than asserting on it
-(CI machines share cores): near-linear until ``jobs`` approaches the
-shard count or the physical core count, then flat - the residual serial
-cost is stream regeneration, which every worker pays per shard.
+Where the speedup comes from
+----------------------------
+Serial pays the fixed per-pass cost (stream generation + routing) once
+per shard - eight passes for the standard eight-shard run.  A ``workers``
+leg pays it once per worker: ``workers=1`` runs all eight shards down
+ONE pass in-process (no spawn at all), and larger pools trade extra
+passes for actual CPU parallelism.  On a single-core machine the whole
+win is pass elimination, so ``workers=1`` is typically the best leg; on
+multi-core machines the pool legs stack parallel speedup on top, which
+is what the 3x multicore bar checks.
 
-Spawn-dominated runs
---------------------
-Below :data:`SPAWN_DOMINATED_FLOOR` inserts per shard, the measured
-"speedup" is process spawn plus per-worker stream regeneration divided
-by almost no work - the smoke artifact used to report 0.09x at 2k
-inserts, which reads as a scaling regression but is pure fixed cost.
-Such runs record ``spawn_dominated: true`` in their JSON (so the
-perf-trajectory collector can drop them from speedup plots) and skip
-the speedup sanity assertion; the fingerprint identity assertion still
-runs, which is all a smoke pass is for.
+Below :data:`SPEEDUP_ASSERT_FLOOR` inserts per shard (the smoke run),
+fixed costs dominate whatever mode runs, so the leg records
+``spawn_dominated: true`` in its JSON (the perf-trajectory collector
+drops such runs from speedup plots) and only the fingerprint assertion
+runs - which is all a smoke pass is for.
+
+The ``metrics`` block of ``BENCH_engine_scaling.json`` comes from one
+extra instrumented pass at the best pool size: per-worker stream
+generation time (``engine.stream_gen_s``), task queue wait
+(``pool.task_wait_s``), spawn latency (``pool.worker_spawn_s``) and the
+final task distribution (``pool.tasks_per_worker``), so the spawn
+amortisation that motivated the pool is visible in the artifact, not
+just in this docstring.
 """
 
 from __future__ import annotations
 
+import os
 import time
+from dataclasses import replace
 
 import pytest
 
 from repro.engine import EngineConfig, run_engine
+from repro.obs.exporters import metrics_document
+from repro.obs.registry import MetricsRegistry, install as obs_install
 
 from _common import (
     ENGINE_CHUNK,
     ENGINE_EVENTS,
-    ENGINE_JOBS,
     ENGINE_NODES,
     ENGINE_SHARDS,
+    ENGINE_WORKERS,
 )
 
 #: Minimum inserts per shard for speedup numbers to mean anything: below
-#: this, worker spawn + stream regeneration (a fixed ~100ms-per-worker
-#: cost) exceeds the clock work itself, so the ratio measures overhead,
-#: not scaling.  The floor is deliberately far above the smoke scale
-#: (2k/4 shards = 500) and far below the full scale (1.2M/8 = 150k).
-SPAWN_DOMINATED_FLOOR = 10_000
+#: this, worker spawn + the per-pass fixed cost exceed the clock work
+#: itself, so the ratio measures overhead, not scaling.  The floor is
+#: deliberately far above the smoke scale (2k/4 shards = 500) and far
+#: below the full scale (1.2M/8 = 150k).
+SPEEDUP_ASSERT_FLOOR = 10_000
 
-#: The lenient sanity bar asserted on the best multi-worker speedup of a
-#: non-spawn-dominated run: parallel execution must not be catastrophically
-#: slower than serial.  Kept well under 1.0 because CI cores are shared
-#: and oversubscribed workers legitimately pay coordination cost.
-MIN_PARALLEL_SPEEDUP = 0.5
+#: The scaling bar asserted on the best ``workers`` leg of a
+#: full-scale run: one stream pass per worker must beat the legacy
+#: one-pass-per-shard serial mode by at least this much.
+MIN_WORKER_SPEEDUP = 2.0
+
+#: The stricter bar when real parallelism is available (>= 4 cores):
+#: pass elimination plus concurrent shard groups.
+MIN_WORKER_SPEEDUP_MULTICORE = 3.0
 
 CONFIG = EngineConfig(
     scenario="thread-churn",
@@ -73,20 +97,44 @@ CONFIG = EngineConfig(
 )
 
 
+def _timed_leg(label, config, jobs=1):
+    start = time.perf_counter()
+    result = run_engine(config, jobs=jobs)
+    return label, time.perf_counter() - start, result
+
+
+def _instrumented_metrics(workers: int) -> dict:
+    """One extra pass with telemetry installed; its metrics document.
+
+    Separate from the timed legs on purpose: the published rates stay
+    telemetry-free, and the instrumented pass exists only to capture the
+    pool/stream observations (spawn latency, queue wait, per-worker
+    stream-generation time) into the JSON artifact.
+    """
+    registry = MetricsRegistry(origin="bench-engine-scaling")
+    previous = obs_install(registry)
+    try:
+        run_engine(replace(CONFIG, workers=workers))
+    finally:
+        obs_install(previous)
+    return metrics_document(registry)
+
+
 @pytest.mark.benchmark(group="engine-scaling")
 def test_engine_scaling_events_per_second(benchmark, record_table, record_json):
     def run_all():
-        runs = []
-        for jobs in ENGINE_JOBS:
-            start = time.perf_counter()
-            result = run_engine(CONFIG, jobs=jobs)
-            runs.append((jobs, time.perf_counter() - start, result))
+        runs = [_timed_leg("serial", CONFIG, jobs=1)]
+        for workers in ENGINE_WORKERS:
+            runs.append(
+                _timed_leg(f"workers={workers}", replace(CONFIG, workers=workers))
+            )
+        runs.append(_timed_leg("jobs=2", CONFIG, jobs=2))
         return runs
 
     runs = benchmark.pedantic(run_all, rounds=1, iterations=1)
 
     fingerprints = {result.fingerprint() for _, _, result in runs}
-    assert len(fingerprints) == 1, "worker count changed the merged metrics"
+    assert len(fingerprints) == 1, "scheduling mode changed the merged metrics"
 
     reference = runs[0][2]
     assert reference.inserts == ENGINE_EVENTS
@@ -103,29 +151,42 @@ def test_engine_scaling_events_per_second(benchmark, record_table, record_json):
 
     serial_elapsed = runs[0][1]
     per_shard_inserts = ENGINE_EVENTS // ENGINE_SHARDS
-    spawn_dominated = per_shard_inserts < SPAWN_DOMINATED_FLOOR
+    spawn_dominated = per_shard_inserts < SPEEDUP_ASSERT_FLOOR
+    cpu_count = os.cpu_count() or 1
     lines = [
         f"scenario: thread-churn  inserts: {ENGINE_EVENTS:,}  "
         f"shards: {ENGINE_SHARDS}  chunk: {ENGINE_CHUNK:,}  "
-        f"nodes: {ENGINE_NODES}+{2 * ENGINE_NODES}"
+        f"nodes: {ENGINE_NODES}+{2 * ENGINE_NODES}  cpus: {cpu_count}"
         + ("  [spawn-dominated: speedups are overhead]" if spawn_dominated else ""),
-        f"fingerprint (identical for every jobs value): "
+        f"fingerprint (identical for every leg): "
         f"{reference.fingerprint()[:16]}...",
         "",
-        f"{'jobs':>4}  {'seconds':>8}  {'events/s':>10}  {'speedup':>7}",
+        f"{'leg':>10}  {'seconds':>8}  {'events/s':>10}  {'speedup':>7}",
     ]
     total_events = reference.inserts + reference.expires
-    for jobs, elapsed, _ in runs:
+    for label, elapsed, _ in runs:
         rate = total_events / elapsed if elapsed else float("inf")
         lines.append(
-            f"{jobs:>4}  {elapsed:>8.2f}  {rate:>10,.0f}  "
+            f"{label:>10}  {elapsed:>8.2f}  {rate:>10,.0f}  "
             f"{serial_elapsed / elapsed if elapsed else float('inf'):>6.2f}x"
         )
     record_table("engine_scaling", "\n".join(lines))
     speedups = {
-        str(jobs): (serial_elapsed / elapsed if elapsed else None)
-        for jobs, elapsed, _ in runs
+        label: (serial_elapsed / elapsed if elapsed else None)
+        for label, elapsed, _ in runs
     }
+    worker_speedups = {
+        workers: speedups[f"workers={workers}"] for workers in ENGINE_WORKERS
+    }
+    best_workers = max(worker_speedups, key=lambda w: worker_speedups[w])
+    # Instrument the best *pooled* leg (workers > 1) even when workers=1
+    # won the race: the metrics block exists to expose the pool's spawn
+    # amortisation, and an in-process pass has no pool to observe.
+    pooled = [workers for workers in ENGINE_WORKERS if workers > 1]
+    metrics_workers = (
+        max(pooled, key=lambda w: worker_speedups[w]) if pooled else best_workers
+    )
+    metrics = _instrumented_metrics(metrics_workers)
     record_json(
         "engine_scaling",
         {
@@ -135,18 +196,29 @@ def test_engine_scaling_events_per_second(benchmark, record_table, record_json):
             "shards": ENGINE_SHARDS,
             "per_shard_inserts": per_shard_inserts,
             "spawn_dominated": spawn_dominated,
+            "workers_swept": list(ENGINE_WORKERS),
+            "best_workers": best_workers,
+            "metrics_workers": metrics_workers,
             "events_per_second": {
-                str(jobs): (total_events / elapsed if elapsed else None)
-                for jobs, elapsed, _ in runs
+                label: (total_events / elapsed if elapsed else None)
+                for label, elapsed, _ in runs
             },
             "speedup_vs_serial": speedups,
             "fingerprint": reference.fingerprint(),
         },
+        metrics=metrics,
     )
-    if not spawn_dominated and len(runs) > 1:
-        best = max(value for key, value in speedups.items() if key != "1")
-        assert best >= MIN_PARALLEL_SPEEDUP, (
-            f"best multi-worker speedup {best:.2f}x fell below the "
-            f"{MIN_PARALLEL_SPEEDUP}x sanity bar on a run large enough "
-            f"({per_shard_inserts:,} inserts/shard) for speedups to be real"
+    if not spawn_dominated:
+        best = worker_speedups[best_workers]
+        floor = (
+            MIN_WORKER_SPEEDUP_MULTICORE
+            if cpu_count >= 4
+            else MIN_WORKER_SPEEDUP
+        )
+        assert best >= floor, (
+            f"best workers leg (workers={best_workers}) reached only "
+            f"{best:.2f}x serial on a run large enough "
+            f"({per_shard_inserts:,} inserts/shard) for speedups to be "
+            f"real; the pooled one-pass-per-worker engine must clear "
+            f"{floor}x on a {cpu_count}-core machine"
         )

@@ -16,6 +16,8 @@ python -m repro sweep ratio --epoch 200 \
     --mechanisms popularity,adaptive-popularity   # adaptive vs append-only
 python -m repro engine run --scenario thread-churn --jobs 4 \
     --events 1000000 --checkpoint-dir ckpt   # sharded, resumable runs
+python -m repro engine run --scenario thread-churn --workers 2 \
+    --events 1000000                         # pooled: one stream pass/worker
 python -m repro engine run --scenario thread-churn --epoch 5000 \
     --mechanisms popularity,adaptive-popularity   # lifecycle-aware shards
 python -m repro engine run --scenario thread-churn --metrics metrics.json \
@@ -212,7 +214,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     engine_run.add_argument(
         "--jobs", type=int, default=1,
-        help="worker processes (never changes the numbers, only the wall-clock)",
+        help="one-task-per-shard worker processes (never changes the "
+        "numbers, only the wall-clock); see --workers for the pooled mode",
+    )
+    engine_run.add_argument(
+        "--workers", type=int, default=None,
+        help="worker-pool size: shards are dealt into this many contiguous "
+        "groups and each pool worker generates the stream ONCE for all "
+        "its shards (mutually exclusive with --jobs > 1; like --jobs it "
+        "never changes the numbers)",
     )
     engine_run.add_argument(
         "--shards", type=int, default=8,
@@ -428,6 +438,7 @@ def _cmd_engine(args: argparse.Namespace) -> int:
         pipeline=args.pipeline,
         backend=args.backend,
         timestamps=args.timestamps,
+        workers=args.workers,
     )
     # One timing mechanism for the whole CLI: a telemetry registry is
     # always installed around the run (its disabled/enabled state never
@@ -436,6 +447,10 @@ def _cmd_engine(args: argparse.Namespace) -> int:
     # ad-hoc perf_counter pair.
     registry = MetricsRegistry(origin="engine")
     previous = obs_install(registry)
+    schedule = (
+        f"workers={args.workers}" if args.workers is not None
+        else f"jobs={args.jobs}"
+    )
     try:
         with registry.span(
             "cli.engine_run", jobs=args.jobs, scenario=args.scenario
@@ -466,7 +481,7 @@ def _cmd_engine(args: argparse.Namespace) -> int:
         # merged event total over this invocation's elapsed time is not a
         # processing rate; report only what was measured.
         print(
-            f"merged {events} events in {elapsed:.2f}s (jobs={args.jobs}; "
+            f"merged {events} events in {elapsed:.2f}s ({schedule}; "
             f"checkpointed chunks reload without reprocessing, so no "
             f"events/s is reported)",
             file=sys.stderr,
@@ -475,7 +490,7 @@ def _cmd_engine(args: argparse.Namespace) -> int:
         rate = events / elapsed if elapsed > 0 else float("inf")
         print(
             f"processed {events} events in {elapsed:.2f}s "
-            f"({rate:,.0f} events/s, jobs={args.jobs})",
+            f"({rate:,.0f} events/s, {schedule})",
             file=sys.stderr,
         )
     if args.metrics or args.trace or args.metrics_log:

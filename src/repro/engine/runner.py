@@ -24,17 +24,35 @@ single pass along two axes:
 Workers never receive events over IPC.  Each worker regenerates the base
 stream from the run's root seed (generation is a cheap pure function of
 the seed; the matching and mechanism work dominates) and filters it down
-to its own shard, which makes tasks pure functions of ``(config,
-shard_id)`` - the property the executor needs for scheduling-independent
-results.
+to its own shards, which makes tasks pure functions of ``(config,
+shard ids)`` - the property the executor needs for
+scheduling-independent results.
+
+Two scheduling modes share the per-shard machinery:
+
+* **per-shard tasks** (``jobs``, the original mode): one task per shard,
+  so ``num_shards`` tasks each regenerate and re-route the full stream.
+  Fine when shards are few and fat; ruinous when ``shards >> jobs``,
+  because the fixed per-pass cost (generation + routing) is paid once
+  per *shard*;
+* **shard-group tasks** (``workers``): :func:`plan_shard_groups` deals
+  the shards into ``workers`` contiguous groups, each group becomes one
+  task owned by one pool worker, and :func:`run_shard_group` generates
+  the stream **once** and routes events to every owned shard in a
+  single pass (:meth:`~repro.engine.sharding.StreamSharder.split_runs_group`).
+  The fixed per-pass cost is paid once per *worker* - the difference
+  between ``--jobs 2`` measuring 0.1x serial and ``--workers 2``
+  actually scaling.
 
 Determinism contract (the one the acceptance tests assert): for a fixed
 ``EngineConfig``, the merged :class:`~repro.engine.results.EngineResult`
-is bit-identical across ``jobs`` values, executor backends, and
-interrupt/resume cycles.  Every source of variation is keyed by
-:func:`repro.seeds.derive_seed` paths (stream, per-shard per-mechanism
-seeds), and every float accumulation follows one fixed merge tree
-(chunks in order within a shard, shards in id order at the end).
+is bit-identical across ``jobs`` values, ``workers`` values (including
+``None``), executor backends, and interrupt/resume cycles - checkpoints
+written under one scheduling mode resume under any other.  Every source
+of variation is keyed by :func:`repro.seeds.derive_seed` paths (stream,
+per-shard per-mechanism seeds), and every float accumulation follows one
+fixed merge tree (chunks in order within a shard, shards in id order at
+the end).
 """
 
 from __future__ import annotations
@@ -42,7 +60,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 from time import perf_counter
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Deque, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.analysis.experiments import EXTENDED_MECHANISMS
 from repro.analysis.metrics import QuantileSketch, RunningStats
@@ -59,7 +77,7 @@ from repro.engine.results import (
     SeriesFragment,
     merge_partials,
 )
-from repro.engine.sharding import HASH, STRATEGIES, StreamSharder
+from repro.engine.sharding import HASH, STRATEGIES, StreamSharder, plan_shard_groups
 from repro.exceptions import ClockError, EngineError, ScenarioError
 from repro.graph.incremental import DynamicMatching
 from repro.obs.registry import active as _metrics_active
@@ -90,6 +108,10 @@ NON_SIGNATURE_FIELDS = (
     "pipeline",              # bit-identical across pipelines by contract
     "backend",               # bit-identical across kernel backends by contract
     "trajectory_stride",     # identity enters via the resolved "stride" key
+    "workers",               # physical shard-group scheduling only: the merged
+                             # result is bit-identical across worker counts and
+                             # to the per-shard jobs mode, so checkpoints cross
+                             # worker counts freely (asserted by the tests)
 )
 
 
@@ -139,6 +161,15 @@ class EngineConfig:
       Restricted to append-only mechanisms - retirement would require a
       per-shard rotation/replay story, which stays with
       :class:`~repro.online.adaptive.LifecycleClockDriver`.
+
+    ``workers`` selects the shard-group scheduling mode: ``None`` (the
+    default) keeps one task per shard driven by ``run_engine``'s
+    ``jobs`` argument; an integer deals the shards into that many
+    contiguous groups (:func:`plan_shard_groups`), runs each group as
+    one pool-worker task that generates the stream once for all its
+    shards, and forbids ``jobs > 1`` (the pool is sized by ``workers``).
+    Like ``jobs`` it is wall-clock only - the merged result, and every
+    checkpoint, is bit-identical across ``workers`` values.
     """
 
     scenario: str
@@ -160,6 +191,7 @@ class EngineConfig:
     pipeline: str = BATCHED
     backend: Optional[str] = None
     timestamps: bool = False
+    workers: Optional[int] = None
 
     def validate(self) -> None:
         try:
@@ -228,6 +260,8 @@ class EngineConfig:
                         f"would require per-shard epoch rotation (use "
                         f"LifecycleClockDriver for that)"
                     )
+        if self.workers is not None and self.workers < 1:
+            raise EngineError(f"workers must be >= 1, got {self.workers}")
 
     @property
     def stride(self) -> int:
@@ -243,12 +277,12 @@ class EngineConfig:
         merged metrics, so this is what the checkpoint manifest records.
         ``max_chunks_per_shard`` is excluded on purpose: an interrupted
         run and its resumption are the *same* run - and so are
-        ``pipeline`` and ``backend``, which by contract never change a
-        number (a run checkpointed under one may resume under another).
-        ``timestamps`` *is* identity - it adds digest series - but the
-        key is recorded only when set, so checkpoint directories written
-        before the timestamping stage existed (whose semantics are
-        unchanged) stay resumable.
+        ``pipeline``, ``backend`` and ``workers``, which by contract
+        never change a number (a run checkpointed under one may resume
+        under another).  ``timestamps`` *is* identity - it adds digest
+        series - but the key is recorded only when set, so checkpoint
+        directories written before the timestamping stage existed (whose
+        semantics are unchanged) stay resumable.
         """
         signature = {
             "scenario": self.scenario,
@@ -393,110 +427,166 @@ def _fresh_consumers(config: EngineConfig, shard_id: int,
     )
 
 
-def run_shard(config: EngineConfig, shard_id: int) -> PartialResult:
-    """Run one shard to completion (or to the interrupt hook).
-
-    Regenerates the base stream from the root seed, filters it to this
-    shard, and advances the shard's mechanisms and dynamic optimum in
-    chunks, checkpointing at every chunk boundary when configured.
-    """
-    config.validate()
-    if not (0 <= shard_id < config.num_shards):
-        raise EngineError(
-            f"shard_id {shard_id} out of range for {config.num_shards} shards"
-        )
-    scenario = REGISTRY.get(config.scenario, kind=STREAM)
-    manager = (
-        EngineCheckpointManager(config.checkpoint_dir, config.signature())
-        if config.checkpoint_dir
-        else None
-    )
-    # Telemetry handle, bound once per shard run: every observation below
-    # guards on ``reg is not None`` so the disabled cost is this single
-    # global read.  Nothing read from the registry (or any clock feeding
-    # it) influences the partial - telemetry is observed, never
-    # observed-from.
-    reg = _metrics_active()
-    shard_started = perf_counter() if reg is not None else 0.0
-    checkpoint = None
-    if manager is not None:
-        with _metrics_span("engine.checkpoint.load", shard=shard_id):
-            checkpoint = manager.load(shard_id)
-    if checkpoint is not None:
-        consumers = checkpoint.consumers
-        partial = checkpoint.partial
-        raw_consumed = checkpoint.raw_events_consumed
-        inserts_done = checkpoint.inserts_done
-        chunks_done = checkpoint.chunks_done
-        if config.timestamps and consumers.clocks is not None:
-            # The pickled kernels carry the backend they ran under; the
-            # resuming configuration wins (backends are bit-identical by
-            # contract, so this is purely a wall-clock choice).
-            for kernel in consumers.clocks.values():
-                kernel.set_backend(config.backend)
+def _extend_clock(kernel: ClockKernel, decision) -> None:
+    """Mirror one component addition onto a label's kernel."""
+    if decision.choice == THREAD:
+        kernel.extend_components(thread_components=(decision.component,))
     else:
-        consumers = _fresh_consumers(config, shard_id, scenario.expires)
-        partial = PartialResult()
-        raw_consumed = 0
-        inserts_done = 0
-        chunks_done = 0
+        kernel.extend_components(object_components=(decision.component,))
 
-    stream = scenario.build(
-        config.num_threads,
-        config.num_objects,
-        config.density,
-        config.num_events,
-        seed=derive_seed(config.seed, config.scenario, "stream"),
-    )
-    sharder = StreamSharder(config.num_shards, config.strategy)
 
-    chunk = _ChunkBuffers(
-        config.mechanisms, inserts_done, config.stride, config.include_offline
-    )
-    mechanisms = consumers.mechanisms
-    engine = consumers.engine
-    live_window = consumers.live_window
-    clocks = consumers.clocks
-    stamp_folds = consumers.stamp_folds
+def _timed_stream(stream: Iterable, reg) -> Iterator:
+    """Yield ``stream`` unchanged, accumulating generator-side time.
 
-    chunk_started = shard_started
+    Stream generation is lazy, so its cost is interleaved with
+    consumption and invisible to coarse spans; this wrapper meters the
+    time spent *inside* the generator's ``next`` and observes the total
+    as the ``engine.stream_gen_s`` histogram (one observation per pass,
+    flushed even when the pass is abandoned mid-stream).  Only installed
+    when telemetry is active - untimed runs never pay the per-event
+    clock reads - and, like all telemetry, never read back into any
+    result.
+    """
+    total = 0.0
+    iterator = iter(stream)
+    try:
+        while True:
+            began = perf_counter()
+            try:
+                event = next(iterator)
+            except StopIteration:
+                break
+            finally:
+                total += perf_counter() - began
+            yield event
+    finally:
+        reg.observe("engine.stream_gen_s", total)
 
-    def complete_chunk() -> None:
-        nonlocal partial, chunk, chunks_done, chunk_started
-        partial = partial.merge(chunk.freeze(shard_id, stamp_folds))
-        chunks_done += 1
+
+class _ShardRun:
+    """One shard's live execution state and transitions.
+
+    The per-shard half of the engine driver, shared verbatim by the
+    single-shard task path (:func:`run_shard`) and the group-owned
+    worker path (:func:`run_shard_group`): consumer state (loaded from a
+    checkpoint or fresh), the chunk clock, the batched timestamping
+    accumulation, and the chunk-boundary checkpoint/telemetry plumbing.
+    Because both paths drive shards through these same methods in the
+    same per-shard event order, a shard's partial - and its checkpoint
+    bytes - cannot depend on which scheduling mode ran it.
+    """
+
+    def __init__(self, config: EngineConfig, shard_id: int, scenario,
+                 manager: Optional[EngineCheckpointManager], reg) -> None:
+        self.config = config
+        self.shard_id = shard_id
+        self.manager = manager
+        self.reg = reg
+        self.chunk_started = perf_counter() if reg is not None else 0.0
+        checkpoint = None
+        if manager is not None:
+            with _metrics_span("engine.checkpoint.load", shard=shard_id):
+                checkpoint = manager.load(shard_id)
+        if checkpoint is not None:
+            self.consumers = checkpoint.consumers
+            self.partial = checkpoint.partial
+            self.raw_consumed = checkpoint.raw_events_consumed
+            self.inserts_done = checkpoint.inserts_done
+            self.chunks_done = checkpoint.chunks_done
+            if config.timestamps and self.consumers.clocks is not None:
+                # The pickled kernels carry the backend they ran under; the
+                # resuming configuration wins (backends are bit-identical by
+                # contract, so this is purely a wall-clock choice).
+                for kernel in self.consumers.clocks.values():
+                    kernel.set_backend(config.backend)
+        else:
+            self.consumers = _fresh_consumers(config, shard_id, scenario.expires)
+            self.partial = PartialResult()
+            self.raw_consumed = 0
+            self.inserts_done = 0
+            self.chunks_done = 0
+        self.mechanisms = self.consumers.mechanisms
+        self.engine = self.consumers.engine
+        self.live_window = self.consumers.live_window
+        self.clocks = self.consumers.clocks
+        self.stamp_folds = self.consumers.stamp_folds
+        self.chunk = _ChunkBuffers(
+            config.mechanisms, self.inserts_done, config.stride,
+            config.include_offline,
+        )
+        # Own-shard load telemetry on the per-event path (split_runs_group
+        # counts it sharder-side on the batched path).
+        self.shard_events = 0
+        # The timestamping stage's own, longer accumulation (batched
+        # pipeline): the per-label kernels consume *inserts only*
+        # (append-only clocks ignore expiry), so their runs are cut by
+        # chunk boundaries and the memory cap - not by the lifecycle
+        # ticks that cut mechanism runs.  This is what amortises the
+        # backends' working-state setup over thousands of events even on
+        # churn-heavy streams.
+        self.kernel_pending: List[Tuple[object, object]] = []
+        self.kernel_start = self.inserts_done
+        self.decision_cursor: Dict[str, int] = (
+            {
+                label: mechanism.decision_count
+                for label, mechanism in self.mechanisms.items()
+            }
+            if self.clocks is not None
+            else {}
+        )
+
+    # -- chunk / lifecycle transitions ----------------------------------
+    def complete_chunk(self) -> None:
+        self.partial = self.partial.merge(
+            self.chunk.freeze(self.shard_id, self.stamp_folds)
+        )
+        self.chunks_done += 1
+        reg = self.reg
         if reg is not None:
             now = perf_counter()
             reg.add("engine.chunks")
-            reg.observe("engine.chunk_s", now - chunk_started)
+            reg.observe("engine.chunk_s", now - self.chunk_started)
             reg.record_span(
                 "engine.chunk",
-                chunk_started,
-                now - chunk_started,
-                (("chunk", chunks_done), ("shard", shard_id)),
+                self.chunk_started,
+                now - self.chunk_started,
+                (("chunk", self.chunks_done), ("shard", self.shard_id)),
             )
-            chunk_started = now
-        if manager is not None:
-            with _metrics_span("engine.checkpoint.save", shard=shard_id):
-                manager.save(
+            self.chunk_started = now
+        if self.manager is not None:
+            with _metrics_span("engine.checkpoint.save", shard=self.shard_id):
+                self.manager.save(
                     ShardCheckpoint(
-                        shard_id=shard_id,
-                        chunks_done=chunks_done,
-                        raw_events_consumed=raw_consumed,
-                        inserts_done=inserts_done,
-                        expires_done=partial.expires,
-                        consumers=consumers,
-                        partial=partial,
+                        shard_id=self.shard_id,
+                        chunks_done=self.chunks_done,
+                        raw_events_consumed=self.raw_consumed,
+                        inserts_done=self.inserts_done,
+                        expires_done=self.partial.expires,
+                        consumers=self.consumers,
+                        partial=self.partial,
                     )
                 )
-        chunk = _ChunkBuffers(
-            config.mechanisms, inserts_done, config.stride, config.include_offline
+        self.chunk = _ChunkBuffers(
+            self.config.mechanisms, self.inserts_done, self.config.stride,
+            self.config.include_offline,
         )
 
-    def deliver_epoch() -> None:
+    def interrupt_if_due(self) -> None:
+        if (
+            self.config.max_chunks_per_shard is not None
+            and self.chunks_done >= self.config.max_chunks_per_shard
+        ):
+            raise EngineInterrupted(
+                f"shard {self.shard_id} stopped after {self.chunks_done} "
+                f"chunks ({self.inserts_done} inserts checkpointed)"
+            )
+
+    def deliver_epoch(self) -> None:
         """One epoch boundary: every mechanism may restructure its clock."""
+        chunk = self.chunk
         chunk.epochs += 1
-        for label, mechanism in mechanisms.items():
+        reg = self.reg
+        for label, mechanism in self.mechanisms.items():
             if reg is None:
                 mechanism.end_epoch()
             else:
@@ -509,34 +599,256 @@ def run_shard(config: EngineConfig, shard_id: int) -> PartialResult:
             chunk.final[label] = mechanism.clock_size
             chunk.retired[label] = mechanism.retired_total
 
-    def deliver_expire(thread, obj) -> None:
+    def deliver_expire(self, thread, obj) -> None:
         """One expiry: mechanisms may retire, the optimum retracts the edge."""
-        for label, mechanism in mechanisms.items():
+        chunk = self.chunk
+        for label, mechanism in self.mechanisms.items():
             mechanism.expire(thread, obj)
             chunk.final[label] = mechanism.clock_size
             chunk.retired[label] = mechanism.retired_total
-        if engine is not None:
-            engine.remove_edge(thread, obj)
+        if self.engine is not None:
+            self.engine.remove_edge(thread, obj)
         chunk.expires += 1
 
-    def extend_clock(kernel: ClockKernel, decision) -> None:
-        """Mirror one component addition onto a label's kernel."""
-        if decision.choice == THREAD:
-            kernel.extend_components(thread_components=(decision.component,))
-        else:
-            kernel.extend_components(object_components=(decision.component,))
-
-    def interrupt_if_due() -> None:
+    # -- per-event pipeline ---------------------------------------------
+    def observe_insert(self, thread, obj) -> None:
+        """One insert through every consumer (the classic per-event body)."""
+        config = self.config
+        chunk = self.chunk
+        if self.live_window is not None:
+            if config.window is not None and len(self.live_window) == config.window:
+                old_thread, old_obj = self.live_window.popleft()
+                self.deliver_expire(old_thread, old_obj)
+            self.live_window.append((thread, obj))
+        offline_size = 0
+        if self.engine is not None:
+            self.engine.add_edge(thread, obj)
+            offline_size = self.engine.size
+        sample_point = self.inserts_done % config.stride == 0
+        clocks = self.clocks
+        stamp_folds = self.stamp_folds
+        for label, mechanism in self.mechanisms.items():
+            if clocks is None:
+                mechanism.observe(thread, obj)
+            else:
+                decisions_before = mechanism.decision_count
+                mechanism.observe(thread, obj)
+                kernel = clocks[label]
+                if mechanism.decision_count != decisions_before:
+                    _extend_clock(
+                        kernel,
+                        mechanism.decisions_since(decisions_before)[0],
+                    )
+                stamp = kernel.observe(thread, obj)
+                stamp_folds[label] = kernel.fold_event(
+                    stamp_folds[label], stamp, thread, obj
+                )
+            size = mechanism.clock_size
+            chunk.final[label] = size
+            chunk.retired[label] = mechanism.retired_total
+            if sample_point:
+                chunk.samples[label].append(size)
+            if offline_size:
+                chunk.ratios[label].update(size / offline_size)
+                chunk.sketches[label].update(size / offline_size)
+        if self.engine is not None:
+            chunk.final[OFFLINE_LABEL] = offline_size
+            if sample_point:
+                chunk.samples[OFFLINE_LABEL].append(offline_size)
+        self.inserts_done += 1
+        chunk.inserts += 1
         if (
-            config.max_chunks_per_shard is not None
-            and chunks_done >= config.max_chunks_per_shard
+            config.epoch_every is not None
+            and self.inserts_done % config.epoch_every == 0
         ):
-            raise EngineInterrupted(
-                f"shard {shard_id} stopped after {chunks_done} chunks "
-                f"({inserts_done} inserts checkpointed)"
-            )
+            self.deliver_epoch()
+        if chunk.inserts == config.chunk_size:
+            self.complete_chunk()
+            self.interrupt_if_due()
 
-    if config.pipeline == PER_EVENT or live_window is not None:
+    # -- batched pipeline -----------------------------------------------
+    def run_cap(self) -> int:
+        """Largest run that cannot overshoot a chunk/epoch boundary."""
+        config = self.config
+        cap = config.chunk_size - self.chunk.inserts
+        if config.epoch_every is not None:
+            cap = min(
+                cap,
+                config.epoch_every - self.inserts_done % config.epoch_every,
+            )
+        return min(cap, MAX_BATCH_EVENTS)
+
+    def flush_stamps(self) -> None:
+        """Advance every label's kernel over the accumulated inserts.
+
+        Sub-runs are cut exactly where the mechanism's decision log
+        says a component was added, each addition extending the
+        kernel *before* its triggering event is stamped - the same
+        order the per-event loop produces, hence the same digest.
+        """
+        kernel_pending = self.kernel_pending
+        if not kernel_pending:
+            return
+        clocks = self.clocks
+        stamp_folds = self.stamp_folds
+        decision_cursor = self.decision_cursor
+        kernel_start = self.kernel_start
+        for label, mechanism in self.mechanisms.items():
+            kernel = clocks[label]
+            fold = stamp_folds[label]
+            cursor_offset = 0
+            for decision in mechanism.decisions_since(decision_cursor[label]):
+                offset = decision.event_index - kernel_start
+                if offset > cursor_offset:
+                    fold = kernel.advance_batch(
+                        kernel_pending[cursor_offset:offset], fold
+                    )
+                    cursor_offset = offset
+                _extend_clock(kernel, decision)
+            decision_cursor[label] = mechanism.decision_count
+            if cursor_offset:
+                fold = kernel.advance_batch(
+                    kernel_pending[cursor_offset:], fold
+                )
+            else:
+                fold = kernel.advance_batch(kernel_pending, fold)
+            stamp_folds[label] = fold
+        self.kernel_start += len(kernel_pending)
+        kernel_pending.clear()
+
+    def flush_inserts(self, run: List[Tuple[object, object]]) -> None:
+        """One whole insert run through every consumer (the batched body)."""
+        chunk = self.chunk
+        count = len(run)
+        reg = self.reg
+        if reg is not None:
+            reg.observe("engine.batch_size", count)
+        start = self.inserts_done
+        stride = self.config.stride
+        offline_sizes: Optional[List[int]] = None
+        engine = self.engine
+        if engine is not None:
+            offline_sizes = []
+            add_edge = engine.add_edge
+            append_offline = offline_sizes.append
+            for thread, obj in run:
+                add_edge(thread, obj)
+                append_offline(engine.size)
+        sample_offsets = range((-start) % stride, count, stride)
+        for label, mechanism in self.mechanisms.items():
+            sizes = mechanism.observe_batch(run)
+            samples = chunk.samples[label]
+            for offset in sample_offsets:
+                samples.append(sizes[offset])
+            chunk.final[label] = sizes[-1]
+            chunk.retired[label] = mechanism.retired_total
+            if offline_sizes is not None:
+                update_stats = chunk.ratios[label].update
+                update_sketch = chunk.sketches[label].update
+                for size, offline_size in zip(sizes, offline_sizes):
+                    ratio = size / offline_size
+                    update_stats(ratio)
+                    update_sketch(ratio)
+        if offline_sizes is not None:
+            chunk.final[OFFLINE_LABEL] = offline_sizes[-1]
+            offline_samples = chunk.samples[OFFLINE_LABEL]
+            for offset in sample_offsets:
+                offline_samples.append(offline_sizes[offset])
+        if self.clocks is not None:
+            self.kernel_pending.extend(run)
+            if len(self.kernel_pending) >= MAX_BATCH_EVENTS:
+                self.flush_stamps()
+        self.inserts_done += count
+        chunk.inserts += count
+
+    # -- completion ------------------------------------------------------
+    def finish(self) -> PartialResult:
+        """Freeze any trailing chunk, flush telemetry; the shard's partial."""
+        if self.clocks is not None:
+            self.flush_stamps()
+        chunk = self.chunk
+        if chunk.inserts or chunk.expires or chunk.epochs:
+            self.complete_chunk()
+        reg = self.reg
+        if reg is not None:
+            if self.shard_events:
+                reg.add(
+                    f"sharder.shard[{self.shard_id}].events", self.shard_events
+                )
+            shard_id = self.shard_id
+            reg.gauge(f"engine.shard[{shard_id}].inserts", self.partial.inserts)
+            reg.gauge(f"engine.shard[{shard_id}].expires", self.partial.expires)
+            reg.gauge(f"engine.shard[{shard_id}].epochs", self.partial.epochs)
+            reg.gauge(f"engine.shard[{shard_id}].chunks", self.chunks_done)
+        return self.partial
+
+
+def run_shard_group(
+    config: EngineConfig, shard_ids: Sequence[int]
+) -> Dict[int, PartialResult]:
+    """Run a contiguous group of shards to completion in ONE stream pass.
+
+    The worker-pooled engine's task body: the base stream is regenerated
+    *once* and every event routed to the owning shard's consumers in a
+    single pass, so a worker that owns four shards pays the fixed
+    per-pass cost (generation + routing) once instead of four times.
+    Each owned shard's consumer state, chunk clock and checkpoints
+    evolve exactly as a dedicated :func:`run_shard` pass would evolve
+    them - per-shard resume skips included - which is what makes
+    checkpoints (and the merged fingerprint) interchangeable across
+    ``workers`` counts and with the per-shard ``jobs`` mode.
+
+    Returns the per-shard partials keyed by shard id.  Raises
+    :class:`EngineInterrupted` when any owned shard hits the
+    ``max_chunks_per_shard`` hook; sibling shards keep whatever chunk
+    checkpoints they had already completed, and the next invocation
+    resumes every shard from its own last boundary.
+    """
+    config.validate()
+    owned: Tuple[int, ...] = tuple(shard_ids)
+    if not owned:
+        raise EngineError("a shard group must own at least one shard")
+    if list(owned) != sorted(set(owned)):
+        raise EngineError(
+            f"group shard ids must be strictly increasing, got {owned!r}"
+        )
+    for shard_id in owned:
+        if not (0 <= shard_id < config.num_shards):
+            raise EngineError(
+                f"shard_id {shard_id} out of range for "
+                f"{config.num_shards} shards"
+            )
+    scenario = REGISTRY.get(config.scenario, kind=STREAM)
+    manager = (
+        EngineCheckpointManager(config.checkpoint_dir, config.signature())
+        if config.checkpoint_dir
+        else None
+    )
+    # Telemetry handle, bound once per group pass: every observation below
+    # guards on ``reg is not None`` so the disabled cost is this single
+    # global read.  Nothing read from the registry (or any clock feeding
+    # it) influences the partials - telemetry is observed, never
+    # observed-from.
+    reg = _metrics_active()
+    group_started = perf_counter() if reg is not None else 0.0
+    runs: Dict[int, _ShardRun] = {
+        shard_id: _ShardRun(config, shard_id, scenario, manager, reg)
+        for shard_id in owned
+    }
+    stream = scenario.build(
+        config.num_threads,
+        config.num_objects,
+        config.density,
+        config.num_events,
+        seed=derive_seed(config.seed, config.scenario, "stream"),
+    )
+    if reg is not None:
+        stream = _timed_stream(stream, reg)
+    sharder = StreamSharder(config.num_shards, config.strategy)
+
+    if config.pipeline == PER_EVENT or any(
+        run.live_window is not None for run in runs.values()
+    ):
         # ------------------------------------------------------------------
         # The classic loop: one consumer call per event.  An *imposed*
         # sliding window also lands here regardless of config.pipeline:
@@ -546,252 +858,113 @@ def run_shard(config: EngineConfig, shard_id: int) -> PartialResult:
         # (Scenario-emitted expiry - churn bursts - batches fine and
         # stays on the batched path.)  Results are identical either way.
         # ------------------------------------------------------------------
-        tagged = sharder.split(stream)
-        # Fast-forward past the checkpointed prefix.  The events are
-        # consumed (the round-robin assignment table must replay
-        # identically) but not fed to consumers - their state already
-        # includes them.
-        for _ in range(raw_consumed):
-            try:
-                next(tagged)
-            except StopIteration:
-                raise EngineError(
-                    f"stream exhausted while fast-forwarding shard "
-                    f"{shard_id} to event {raw_consumed}; the checkpoint "
-                    f"does not match this stream"
-                ) from None
-        # Own-shard load, mirroring split_runs' counter on the batched
-        # path (one key per shard id, so worker merges never collide).
-        shard_events = 0
-        for shard, event in tagged:
-            raw_consumed += 1
-            if shard != shard_id:
+        # Per-shard fast-forward: each shard skips the prefix its own
+        # checkpoint already covers (the sharder's assignment table
+        # replays regardless, because split() routes every event).
+        skips = {shard_id: runs[shard_id].raw_consumed for shard_id in owned}
+        consumed = 0
+        for shard, event in sharder.split(stream):
+            consumed += 1
+            shard_run = runs.get(shard)
+            if shard_run is None:
                 continue
+            if consumed <= skips[shard]:
+                continue
+            shard_run.raw_consumed = consumed
             if reg is not None:
-                shard_events += 1
+                shard_run.shard_events += 1
             if event.is_epoch:
-                deliver_epoch()
+                shard_run.deliver_epoch()
                 continue
             if event.is_expire:
-                deliver_expire(event.thread, event.obj)
+                shard_run.deliver_expire(event.thread, event.obj)
                 continue
-            if live_window is not None:
-                if config.window is not None and len(live_window) == config.window:
-                    old_thread, old_obj = live_window.popleft()
-                    deliver_expire(old_thread, old_obj)
-                live_window.append(event.pair)
-            offline_size = 0
-            if engine is not None:
-                engine.add_edge(event.thread, event.obj)
-                offline_size = engine.size
-            index = inserts_done
-            sample_point = index % config.stride == 0
-            for label, mechanism in mechanisms.items():
-                if clocks is None:
-                    mechanism.observe(event.thread, event.obj)
-                else:
-                    decisions_before = mechanism.decision_count
-                    mechanism.observe(event.thread, event.obj)
-                    kernel = clocks[label]
-                    if mechanism.decision_count != decisions_before:
-                        extend_clock(
-                            kernel,
-                            mechanism.decisions_since(decisions_before)[0],
-                        )
-                    stamp = kernel.observe(event.thread, event.obj)
-                    stamp_folds[label] = kernel.fold_event(
-                        stamp_folds[label], stamp, event.thread, event.obj
-                    )
-                size = mechanism.clock_size
-                chunk.final[label] = size
-                chunk.retired[label] = mechanism.retired_total
-                if sample_point:
-                    chunk.samples[label].append(size)
-                if offline_size:
-                    chunk.ratios[label].update(size / offline_size)
-                    chunk.sketches[label].update(size / offline_size)
-            if engine is not None:
-                chunk.final[OFFLINE_LABEL] = offline_size
-                if sample_point:
-                    chunk.samples[OFFLINE_LABEL].append(offline_size)
-            inserts_done += 1
-            chunk.inserts += 1
-            if (
-                config.epoch_every is not None
-                and inserts_done % config.epoch_every == 0
-            ):
-                deliver_epoch()
-            if chunk.inserts == config.chunk_size:
-                complete_chunk()
-                interrupt_if_due()
-        if reg is not None and shard_events:
-            reg.add(f"sharder.shard[{shard_id}].events", shard_events)
+            shard_run.observe_insert(event.thread, event.obj)
+        for shard_id in owned:
+            if consumed < skips[shard_id]:
+                raise EngineError(
+                    f"stream exhausted while fast-forwarding shard "
+                    f"{shard_id} to event {skips[shard_id]}; the checkpoint "
+                    f"does not match this stream"
+                )
+            runs[shard_id].raw_consumed = consumed
     else:
         # ------------------------------------------------------------------
         # The batched pipeline: runs of consecutive inserts, cut at
         # lifecycle ticks and chunk / epoch boundaries, flow through
         # observe_batch (mechanisms) and advance_batch (kernels) so the
         # per-event Python dispatch is paid once per run, not per event.
-        # The runs arrive whole from StreamSharder.split_runs - routing,
-        # filtering and accumulation happen inside the sharder's own
-        # loop, so this driver resumes once per run / boundary event
-        # instead of once per tagged event.  Identical interleaving,
-        # identical numbers - the fingerprint equality with the
-        # per-event loop is asserted in CI.
+        # The runs arrive whole - and already routed to their owning
+        # shard - from StreamSharder.split_runs_group, so this driver
+        # resumes once per run / boundary event instead of once per
+        # tagged event.  Identical interleaving per shard, identical
+        # numbers - the fingerprint equality with the per-event loop and
+        # with every other scheduling mode is asserted in CI.
         # ------------------------------------------------------------------
-        stride = config.stride
-        # The timestamping stage has its own, longer accumulation: the
-        # per-label kernels consume *inserts only* (append-only clocks
-        # ignore expiry), so their runs are cut by chunk boundaries and
-        # the memory cap - not by the lifecycle ticks that cut mechanism
-        # runs.  This is what amortises the backends' working-state setup
-        # over thousands of events even on churn-heavy streams.
-        kernel_pending: List[Tuple[object, object]] = []
-        kernel_start = inserts_done
-        decision_cursor = (
-            {
-                label: mechanism.decision_count
-                for label, mechanism in mechanisms.items()
-            }
-            if clocks is not None
-            else {}
-        )
-
-        def flush_stamps() -> None:
-            """Advance every label's kernel over the accumulated inserts.
-
-            Sub-runs are cut exactly where the mechanism's decision log
-            says a component was added, each addition extending the
-            kernel *before* its triggering event is stamped - the same
-            order the per-event loop produces, hence the same digest.
-            """
-            nonlocal kernel_start
-            if not kernel_pending:
-                return
-            for label, mechanism in mechanisms.items():
-                kernel = clocks[label]
-                fold = stamp_folds[label]
-                cursor_offset = 0
-                for decision in mechanism.decisions_since(
-                    decision_cursor[label]
-                ):
-                    offset = decision.event_index - kernel_start
-                    if offset > cursor_offset:
-                        fold = kernel.advance_batch(
-                            kernel_pending[cursor_offset:offset], fold
-                        )
-                        cursor_offset = offset
-                    extend_clock(kernel, decision)
-                decision_cursor[label] = mechanism.decision_count
-                if cursor_offset:
-                    fold = kernel.advance_batch(
-                        kernel_pending[cursor_offset:], fold
-                    )
-                else:
-                    fold = kernel.advance_batch(kernel_pending, fold)
-                stamp_folds[label] = fold
-            kernel_start += len(kernel_pending)
-            kernel_pending.clear()
-
-        def run_cap() -> int:
-            """Largest run that cannot overshoot a chunk/epoch boundary."""
-            cap = config.chunk_size - chunk.inserts
-            if config.epoch_every is not None:
-                cap = min(
-                    cap,
-                    config.epoch_every - inserts_done % config.epoch_every,
-                )
-            return min(cap, MAX_BATCH_EVENTS)
-
-        def flush_inserts(run: List[Tuple[object, object]]) -> None:
-            nonlocal inserts_done
-            count = len(run)
-            if reg is not None:
-                reg.observe("engine.batch_size", count)
-            start = inserts_done
-            offline_sizes: Optional[List[int]] = None
-            if engine is not None:
-                offline_sizes = []
-                add_edge = engine.add_edge
-                append_offline = offline_sizes.append
-                for thread, obj in run:
-                    add_edge(thread, obj)
-                    append_offline(engine.size)
-            sample_offsets = range((-start) % stride, count, stride)
-            for label, mechanism in mechanisms.items():
-                sizes = mechanism.observe_batch(run)
-                samples = chunk.samples[label]
-                for offset in sample_offsets:
-                    samples.append(sizes[offset])
-                chunk.final[label] = sizes[-1]
-                chunk.retired[label] = mechanism.retired_total
-                if offline_sizes is not None:
-                    update_stats = chunk.ratios[label].update
-                    update_sketch = chunk.sketches[label].update
-                    for size, offline_size in zip(sizes, offline_sizes):
-                        ratio = size / offline_size
-                        update_stats(ratio)
-                        update_sketch(ratio)
-            if offline_sizes is not None:
-                chunk.final[OFFLINE_LABEL] = offline_sizes[-1]
-                offline_samples = chunk.samples[OFFLINE_LABEL]
-                for offset in sample_offsets:
-                    offline_samples.append(offline_sizes[offset])
-            if clocks is not None:
-                kernel_pending.extend(run)
-                if len(kernel_pending) >= MAX_BATCH_EVENTS:
-                    flush_stamps()
-            inserts_done += count
-            chunk.inserts += count
-
-        def complete_chunk_batched() -> None:
-            # The chunk's frozen digest must be current, so the kernels
-            # catch up right before the boundary.
-            if clocks is not None:
-                flush_stamps()
-            complete_chunk()
-
+        caps = {shard_id: runs[shard_id].run_cap for shard_id in owned}
+        skips = {shard_id: runs[shard_id].raw_consumed for shard_id in owned}
         # Boundary checks run after *every* flushed run, but only a
         # cap-sized run can actually land on a chunk/epoch boundary: the
         # sharder re-evaluates run_cap() at each run's first insert, so
         # a run cut short by a lifecycle event (or end of stream) always
         # stops strictly before one.
-        for raw_consumed, item in sharder.split_runs(
-            stream, shard_id, cap=run_cap, skip=raw_consumed
+        for shard, consumed, item in sharder.split_runs_group(
+            stream, owned, caps, skips
         ):
+            shard_run = runs[shard]
+            shard_run.raw_consumed = consumed
             if item is None:
                 continue
             if type(item) is list:
-                flush_inserts(item)
+                shard_run.flush_inserts(item)
                 if (
                     config.epoch_every is not None
-                    and inserts_done % config.epoch_every == 0
+                    and shard_run.inserts_done % config.epoch_every == 0
                 ):
-                    deliver_epoch()
-                if chunk.inserts == config.chunk_size:
-                    complete_chunk_batched()
-                    interrupt_if_due()
+                    shard_run.deliver_epoch()
+                if shard_run.chunk.inserts == config.chunk_size:
+                    # The chunk's frozen digest must be current, so the
+                    # kernels catch up right before the boundary.
+                    shard_run.flush_stamps()
+                    shard_run.complete_chunk()
+                    shard_run.interrupt_if_due()
                 continue
             if item.kind == EPOCH:
-                deliver_epoch()
+                shard_run.deliver_epoch()
             else:
-                deliver_expire(item.thread, item.obj)
-        if clocks is not None:
-            flush_stamps()
-    if chunk.inserts or chunk.expires or chunk.epochs:
-        complete_chunk()
+                shard_run.deliver_expire(item.thread, item.obj)
+
+    partials = {shard_id: runs[shard_id].finish() for shard_id in owned}
     if reg is not None:
-        reg.gauge(f"engine.shard[{shard_id}].inserts", partial.inserts)
-        reg.gauge(f"engine.shard[{shard_id}].expires", partial.expires)
-        reg.gauge(f"engine.shard[{shard_id}].epochs", partial.epochs)
-        reg.gauge(f"engine.shard[{shard_id}].chunks", chunks_done)
-        reg.record_span(
-            "engine.shard",
-            shard_started,
-            perf_counter() - shard_started,
-            (("pipeline", config.pipeline), ("shard", shard_id)),
-        )
-    return partial
+        if len(owned) == 1:
+            reg.record_span(
+                "engine.shard",
+                group_started,
+                perf_counter() - group_started,
+                (("pipeline", config.pipeline), ("shard", owned[0])),
+            )
+        else:
+            reg.record_span(
+                "engine.group",
+                group_started,
+                perf_counter() - group_started,
+                (
+                    ("pipeline", config.pipeline),
+                    ("shards", f"{owned[0]}-{owned[-1]}"),
+                ),
+            )
+    return partials
+
+
+def run_shard(config: EngineConfig, shard_id: int) -> PartialResult:
+    """Run one shard to completion (or to the interrupt hook).
+
+    Regenerates the base stream from the root seed, filters it to this
+    shard, and advances the shard's mechanisms and dynamic optimum in
+    chunks, checkpointing at every chunk boundary when configured.  The
+    single-shard projection of :func:`run_shard_group`.
+    """
+    return run_shard_group(config, (shard_id,))[shard_id]
 
 
 def run_shard_task(task: Tuple[EngineConfig, int]) -> PartialResult:
@@ -800,40 +973,96 @@ def run_shard_task(task: Tuple[EngineConfig, int]) -> PartialResult:
     return run_shard(config, shard_id)
 
 
-def run_engine(config: EngineConfig, jobs: int = 1) -> EngineResult:
-    """Run every shard of ``config`` on ``jobs`` workers and merge.
+def run_shard_group_task(
+    task: Tuple[EngineConfig, Tuple[int, ...]],
+) -> Dict[int, PartialResult]:
+    """Module-level group-task entry point (picklable for the pool)."""
+    config, shard_ids = task
+    return run_shard_group(config, shard_ids)
 
-    The merge folds shard partials in shard-id order - the fixed merge
-    tree that keeps results independent of scheduling.  With a checkpoint
-    directory configured, completed shards short-circuit through their
-    checkpoints, so re-invoking after an interruption (or an
-    :class:`EngineInterrupted`) finishes the remaining work only.
+
+def run_engine(config: EngineConfig, jobs: int = 1) -> EngineResult:
+    """Run every shard of ``config`` and merge, on one of two schedules.
+
+    ``config.workers`` set: the shards are dealt into that many
+    contiguous :class:`~repro.engine.sharding.ShardGroup`\\ s and each
+    group runs as one task - on a persistent worker pool when the plan
+    has more than one group, in-process otherwise - with the stream
+    generated once per worker.  ``config.workers`` unset: the original
+    one-task-per-shard decomposition driven by ``jobs``.
+
+    Either way the merge folds shard partials in shard-id order - the
+    fixed merge tree that keeps results independent of scheduling.  With
+    a checkpoint directory configured, completed shards short-circuit
+    through their checkpoints, so re-invoking after an interruption (or
+    an :class:`EngineInterrupted`) finishes the remaining work only -
+    and the resuming invocation may use any ``workers``/``jobs``
+    combination, not the interrupted one's.
     """
     config.validate()
     if config.checkpoint_dir:
         # Fail fast in the parent on a manifest mismatch, before any
         # worker is spawned.
         EngineCheckpointManager(config.checkpoint_dir, config.signature())
-    executor = ShardExecutor(jobs)
-    tasks = [(config, shard_id) for shard_id in range(config.num_shards)]
     registry = _metrics_active()
-    if registry is None:
-        partials = executor.map(run_shard_task, tasks)
-    else:
-        # Deferred import: the telemetry bridge imports this module back.
-        from repro.engine.telemetry import (
-            absorb_snapshots,
-            run_shard_task_with_metrics,
-        )
+    if config.workers is not None:
+        if jobs > 1:
+            raise EngineError(
+                f"config.workers={config.workers} owns the worker pool; "
+                f"leave jobs at 1 (got {jobs}) - the two are alternative "
+                f"scheduling modes"
+            )
+        groups = plan_shard_groups(config.num_shards, config.workers)
+        executor = ShardExecutor(len(groups) if config.workers > 1 else 1)
+        group_tasks = [(config, group.shard_ids) for group in groups]
+        if registry is None:
+            grouped = executor.map(run_shard_group_task, group_tasks)
+        else:
+            # Deferred import: the telemetry bridge imports this module back.
+            from repro.engine.telemetry import (
+                absorb_snapshots,
+                run_shard_group_task_with_metrics,
+            )
 
-        registry.gauge("engine.jobs", jobs)
-        registry.gauge("engine.num_shards", config.num_shards)
-        with registry.span("engine.map", jobs=jobs, shards=config.num_shards):
-            outcomes = executor.map(run_shard_task_with_metrics, tasks)
-        partials = [partial for partial, _snapshot in outcomes]
-        # Shard-id order, the same fixed tree the result merge uses, so
-        # the combined telemetry is independent of worker scheduling.
-        absorb_snapshots(registry, [snapshot for _partial, snapshot in outcomes])
+            registry.gauge("engine.workers", len(groups))
+            registry.gauge("engine.num_shards", config.num_shards)
+            with registry.span(
+                "engine.map", workers=len(groups), shards=config.num_shards
+            ):
+                outcomes = executor.map(
+                    run_shard_group_task_with_metrics, group_tasks
+                )
+            grouped = [partials for partials, _snapshot in outcomes]
+            # Group-id order == shard-id order (groups are contiguous and
+            # ascending), mirroring the result merge tree.
+            absorb_snapshots(
+                registry, [snapshot for _partials, snapshot in outcomes]
+            )
+        partials = [
+            grouped[index][shard_id]
+            for index, group in enumerate(groups)
+            for shard_id in group.shard_ids
+        ]
+    else:
+        executor = ShardExecutor(jobs)
+        tasks = [(config, shard_id) for shard_id in range(config.num_shards)]
+        if registry is None:
+            partials = executor.map(run_shard_task, tasks)
+        else:
+            # Deferred import: the telemetry bridge imports this module back.
+            from repro.engine.telemetry import (
+                absorb_snapshots,
+                run_shard_task_with_metrics,
+            )
+
+            registry.gauge("engine.jobs", jobs)
+            registry.gauge("engine.num_shards", config.num_shards)
+            with registry.span("engine.map", jobs=jobs, shards=config.num_shards):
+                outcomes = executor.map(run_shard_task_with_metrics, tasks)
+            partials = [partial for partial, _snapshot in outcomes]
+            # Shard-id order, the same fixed tree the result merge uses, so
+            # the combined telemetry is independent of worker scheduling.
+            absorb_snapshots(registry, [snapshot for _partial, snapshot in outcomes])
     with _metrics_span("engine.merge"):
         merged = merge_partials(partials)
     return EngineResult(

@@ -42,7 +42,19 @@ shard - is a pure function of the sharder configuration.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Iterator, List, Tuple, Union
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.computation.streams import INSERT, EventLike, StreamEvent, as_stream_event
 from repro.exceptions import EngineError
@@ -55,6 +67,63 @@ HASH = "hash"
 ROUND_ROBIN = "round-robin"
 
 STRATEGIES = (HASH, ROUND_ROBIN)
+
+
+@dataclass(frozen=True)
+class ShardGroup:
+    """A contiguous block of shard ids owned by one worker.
+
+    The worker-pooled engine's scheduling unit: a worker that owns a
+    group generates the base stream *once* and routes events to every
+    owned shard in a single pass (see
+    :meth:`StreamSharder.split_runs_group`), instead of paying one full
+    stream regeneration per shard the way per-shard tasks do.  Groups
+    are purely physical - which shards share a pass never changes any
+    shard's event sequence, so the merged result is bit-identical across
+    group plans.
+    """
+
+    group_id: int
+    shard_ids: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.shard_ids:
+            raise EngineError("a shard group must own at least one shard")
+        if list(self.shard_ids) != sorted(set(self.shard_ids)):
+            raise EngineError(
+                f"group shard ids must be strictly increasing, "
+                f"got {self.shard_ids!r}"
+            )
+
+
+def plan_shard_groups(num_shards: int, workers: int) -> Tuple[ShardGroup, ...]:
+    """Partition ``num_shards`` shard ids into ``workers`` contiguous groups.
+
+    Deterministic balanced round-robin: group sizes differ by at most
+    one, the ``num_shards % workers`` oversized groups are dealt to the
+    lowest group ids in order, and shard ids stay contiguous and
+    ascending within (and across) groups - so flattening the plan's
+    groups in group-id order recovers ``0 .. num_shards - 1`` exactly,
+    which is what keeps the engine's shard-id-sorted merge tree intact.
+    ``workers`` above ``num_shards`` clamps (a worker with no shards
+    would idle); the plan is a pure function of ``(num_shards,
+    workers)``.
+    """
+    if num_shards < 1:
+        raise EngineError(f"num_shards must be >= 1, got {num_shards}")
+    if workers < 1:
+        raise EngineError(f"workers must be >= 1, got {workers}")
+    workers = min(workers, num_shards)
+    base, extra = divmod(num_shards, workers)
+    groups: List[ShardGroup] = []
+    start = 0
+    for group_id in range(workers):
+        size = base + (1 if group_id < extra else 0)
+        groups.append(
+            ShardGroup(group_id, tuple(range(start, start + size)))
+        )
+        start += size
+    return tuple(groups)
 
 
 def stable_vertex_hash(vertex: Vertex) -> int:
@@ -170,74 +239,166 @@ class StreamSharder:
         replay identically - but not yielded.  Raises
         :class:`~repro.exceptions.EngineError` when the stream is
         shorter than ``skip`` (the checkpoint does not match).
+
+        Implemented as the single-shard projection of
+        :meth:`split_runs_group`, so the per-shard and group-owned
+        drivers can never drift apart on consumed-count or skip
+        semantics.
         """
-        if not (0 <= shard_id < self.num_shards):
+        for _, consumed, item in self.split_runs_group(
+            events, (shard_id,), {shard_id: cap}, {shard_id: skip}
+        ):
+            yield consumed, item
+
+    def split_runs_group(
+        self,
+        events: Iterable[EventLike],
+        shard_ids: Sequence[int],
+        caps: Mapping[int, Callable[[], int]],
+        skips: Optional[Mapping[int, int]] = None,
+    ) -> Iterator[
+        Tuple[int, int, Union[List[Tuple[Vertex, Vertex]], StreamEvent, None]]
+    ]:
+        """Several owned shards' sub-streams, routed in ONE pass.
+
+        The worker-pooled engine's replacement for one ``split_runs``
+        pass per shard: a worker that owns ``shard_ids`` consumes the
+        base stream once, and every event is routed to (at most) one
+        owned shard's accumulation - so stream generation and routing
+        are paid once per *worker*, not once per shard.  Yields
+        ``(shard_id, consumed, item)`` triples where ``item`` has
+        exactly the :meth:`split_runs` meaning (a run of that shard's
+        consecutive inserts cut at lifecycle events and at
+        ``caps[shard_id]()``; a boundary :class:`StreamEvent`; or the
+        shard's ``None`` end-of-stream tick).
+
+        Per-shard semantics are *identical* to a dedicated
+        ``split_runs`` pass - same run boundaries, same ``consumed``
+        values, same skip arithmetic - which is what keeps checkpoints
+        interchangeable between per-shard tasks and group-owned workers
+        (a run checkpointed at one ``workers`` count resumes at any
+        other).  In particular:
+
+        * ``consumed`` counts tagged events of the *whole* stream (an
+          insert owned by a sibling shard still advances every shard's
+          count; epoch markers count once per shard of the sharder, not
+          of the group), exactly as each shard's own pass would have
+          counted them;
+        * epoch markers are broadcast to every owned shard in shard-id
+          order, each delivery preceded by the flush of that shard's
+          open run, and each shard's skip check uses its *own* copy
+          position ``before + shard_id + 1`` - so a group resuming
+          shards whose checkpoints straddle a broadcast delivers the
+          marker only to the shards whose checkpoints do not already
+          cover their copy;
+        * ``skips[shard_id]`` (default 0) fast-forwards that shard
+          independently; the routing table replays for every event
+          regardless, because routing *is* the pass.
+
+        End of stream flushes every shard's open run and yields every
+        shard's ``None`` tick in shard-id order.  Raises
+        :class:`~repro.exceptions.EngineError` when the stream is
+        shorter than any shard's skip.
+        """
+        owned: Tuple[int, ...] = tuple(shard_ids)
+        if not owned:
+            raise EngineError("split_runs_group needs at least one shard id")
+        if list(owned) != sorted(set(owned)):
             raise EngineError(
-                f"shard_id {shard_id} out of range for {self.num_shards} shards"
+                f"group shard ids must be strictly increasing, got {owned!r}"
             )
+        for shard_id in owned:
+            if not (0 <= shard_id < self.num_shards):
+                raise EngineError(
+                    f"shard_id {shard_id} out of range for "
+                    f"{self.num_shards} shards"
+                )
+            if shard_id not in caps:
+                raise EngineError(f"no cap callable for shard {shard_id}")
+        skip_of: Dict[int, int] = {
+            shard_id: (skips.get(shard_id, 0) if skips is not None else 0)
+            for shard_id in owned
+        }
         num_shards = self.num_shards
         shard_of = self.shard_of
+        own_set = frozenset(owned)
         consumed = 0
-        run: List[Tuple[Vertex, Vertex]] = []
-        room = 0
-        # Per-shard load telemetry: events this shard actually owns
+        runs: Dict[int, List[Tuple[Vertex, Vertex]]] = {
+            shard_id: [] for shard_id in owned
+        }
+        rooms: Dict[int, int] = {shard_id: 0 for shard_id in owned}
+        # Per-shard load telemetry: events each shard actually owns
         # (fast-forwarded ones excluded - their loads were counted by the
         # original pass).  One key per shard id, so snapshots merged
         # across workers never collide.  Disabled cost: one local ``is
         # not None`` check per owned event.
         registry = _metrics_active()
-        own_events = 0
+        own_events: Dict[int, int] = {shard_id: 0 for shard_id in owned}
         try:
             for item in events:
                 event = as_stream_event(item)
                 if event.is_epoch:
                     before = consumed
                     consumed += num_shards
-                    # This shard's copy of the broadcast is the
-                    # (shard_id+1)-th; a checkpoint taken after it covers it.
-                    if before + shard_id + 1 <= skip:
-                        continue
-                    if registry is not None:
-                        own_events += 1
-                    if run:
-                        yield before, run
-                        run = []
-                    yield consumed, event
+                    for shard_id in owned:
+                        # This shard's copy of the broadcast is the
+                        # (shard_id+1)-th; a checkpoint taken after it
+                        # covers it.
+                        if before + shard_id + 1 <= skip_of[shard_id]:
+                            continue
+                        if registry is not None:
+                            own_events[shard_id] += 1
+                        run = runs[shard_id]
+                        if run:
+                            yield shard_id, before, run
+                            runs[shard_id] = []
+                        yield shard_id, consumed, event
                     continue
                 consumed += 1
                 thread = event.thread
-                if consumed <= skip:
-                    # Keep the round-robin table identical to the original
-                    # pass; the consumers' state already covers this event.
-                    shard_of(thread)
+                shard = shard_of(thread)
+                if shard not in own_set:
                     continue
-                if shard_of(thread) != shard_id:
+                if consumed <= skip_of[shard]:
+                    # The consumers' state already covers this event; the
+                    # routing above replayed the assignment table.
                     continue
                 if registry is not None:
-                    own_events += 1
+                    own_events[shard] += 1
                 if event.kind == INSERT:
+                    run = runs[shard]
                     if not run:
-                        room = cap()
+                        rooms[shard] = caps[shard]()
                     run.append((thread, event.obj))
-                    if len(run) >= room:
-                        yield consumed, run
-                        run = []
+                    if len(run) >= rooms[shard]:
+                        yield shard, consumed, run
+                        runs[shard] = []
                     continue
+                run = runs[shard]
                 if run:
-                    yield consumed - 1, run
-                    run = []
-                yield consumed, event
-            if consumed < skip:
-                raise EngineError(
-                    f"stream exhausted while fast-forwarding shard {shard_id} to "
-                    f"event {skip}; the checkpoint does not match this stream"
-                )
-            if run:
-                yield consumed, run
-            yield consumed, None
+                    yield shard, consumed - 1, run
+                    runs[shard] = []
+                yield shard, consumed, event
+            for shard_id in owned:
+                if consumed < skip_of[shard_id]:
+                    raise EngineError(
+                        f"stream exhausted while fast-forwarding shard "
+                        f"{shard_id} to event {skip_of[shard_id]}; the "
+                        f"checkpoint does not match this stream"
+                    )
+            for shard_id in owned:
+                run = runs[shard_id]
+                if run:
+                    yield shard_id, consumed, run
+                yield shard_id, consumed, None
         finally:
-            if registry is not None and own_events:
-                registry.add(f"sharder.shard[{shard_id}].events", own_events)
+            if registry is not None:
+                for shard_id in owned:
+                    if own_events[shard_id]:
+                        registry.add(
+                            f"sharder.shard[{shard_id}].events",
+                            own_events[shard_id],
+                        )
 
     def select(
         self, events: Iterable[EventLike], shard_id: int

@@ -27,13 +27,17 @@ outward.
 
 from __future__ import annotations
 
-from typing import Iterable, Tuple
+from typing import Dict, Iterable, Tuple
 
 from repro.engine.results import PartialResult
-from repro.engine.runner import EngineConfig, run_shard
+from repro.engine.runner import EngineConfig, run_shard, run_shard_group
 from repro.obs.registry import MetricsRegistry, MetricsSnapshot, install
 
-__all__ = ["absorb_snapshots", "run_shard_task_with_metrics"]
+__all__ = [
+    "absorb_snapshots",
+    "run_shard_group_task_with_metrics",
+    "run_shard_task_with_metrics",
+]
 
 
 def run_shard_task_with_metrics(
@@ -55,6 +59,32 @@ def run_shard_task_with_metrics(
     finally:
         install(previous)
     return partial, registry.snapshot()
+
+
+def run_shard_group_task_with_metrics(
+    task: Tuple[EngineConfig, Tuple[int, ...]],
+) -> Tuple[Dict[int, PartialResult], MetricsSnapshot]:
+    """Run one shard group under a fresh registry; return both outputs.
+
+    The worker-pool analogue of :func:`run_shard_task_with_metrics`: one
+    registry per *group task* (origin ``shards-A-B``, or ``shard-A`` for
+    a one-shard group, matching the per-shard wrapper), because the
+    group - not the shard - is the unit a pool worker executes.  All
+    per-shard series (``engine.shard[i].*`` gauges, per-shard chunk
+    spans) still land inside it keyed by shard id, so absorbing group
+    snapshots in group order yields shard telemetry in shard-id order -
+    groups are contiguous and ascending by construction.
+    """
+    config, shard_ids = task
+    first, last = shard_ids[0], shard_ids[-1]
+    origin = f"shard-{first}" if first == last else f"shards-{first}-{last}"
+    registry = MetricsRegistry(origin=origin)
+    previous = install(registry)
+    try:
+        partials = run_shard_group(config, shard_ids)
+    finally:
+        install(previous)
+    return partials, registry.snapshot()
 
 
 def absorb_snapshots(

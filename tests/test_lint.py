@@ -538,6 +538,17 @@ class TestEngineConfigSignature:
         path = REPO_ROOT / "src" / "repro" / "engine" / "runner.py"
         assert check_file(path, rules) == []
 
+    def test_workers_is_a_declared_non_signature_field(self):
+        # The worker-pool size is physical scheduling, never identity:
+        # checkpoints written at one --workers count must resume at any
+        # other (and under the jobs mode).  Pinning the membership here
+        # keeps a future signature() edit from silently invalidating
+        # every existing checkpoint directory.
+        from repro.engine.runner import NON_SIGNATURE_FIELDS, EngineConfig
+
+        assert "workers" in NON_SIGNATURE_FIELDS
+        assert "workers" not in EngineConfig(scenario="thread-churn").signature()
+
 
 # ---------------------------------------------------------------------------
 # C204 - scenario factories must consume their seed
