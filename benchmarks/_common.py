@@ -99,6 +99,14 @@ if SMOKE:
     PIPELINE_CHUNK = 25_000
     PIPELINE_MATRIX_EVENTS = 2_000
     PIPELINE_MATRIX_JOBS = [1, 2]
+    ROTATION_IDS = 600
+    ROTATION_WINDOW = 300
+    ROTATION_EVENTS = 900
+    ROTATION_COVER_IDS = 300
+    ROTATION_COVER_WINDOW = 150
+    ROTATION_COVER_EVENTS = 600
+    ROTATION_COVER_BOUNDARY = 30
+    ROTATION_MATRIX_EVENTS = 2_000
 else:
     #: Densities swept in Figs. 4 and 6.
     FIG4_DENSITIES = [0.01, 0.02, 0.05, 0.10, 0.15, 0.20, 0.30, 0.40, 0.50]
@@ -161,6 +169,33 @@ else:
     PIPELINE_MATRIX_EVENTS = 4_000
     #: Worker counts crossed into the fingerprint matrix.
     PIPELINE_MATRIX_JOBS = [1, 4]
+    #: Thread/object ID space of the rotation-heavy churn stream.  Kept
+    #: far above the window so most expiries kill their endpoints, which
+    #: is what makes every retirement a pure-subset (delta-eligible)
+    #: rotation and pushes the live clock dimension near the window size.
+    ROTATION_IDS = 32_000
+    #: Sliding-window length of the rotation stream (the live pair count
+    #: a replay rotation re-observes; the clock dimension tracks it).
+    ROTATION_WINDOW = 4_000
+    #: Insert events of the rotation stream.  The first window's worth is
+    #: warm-up (no expiries, no rotations); each event past it triggers
+    #: an expiry and, nearly always, a retirement rotation - so this
+    #: yields several hundred rotation-latency samples per strategy.
+    ROTATION_EVENTS = 4_800
+    #: ID space of the cover-repair churn stream (dense enough that the
+    #: live graph keeps a non-trivial maximum matching to repair).
+    ROTATION_COVER_IDS = 4_000
+    #: Live-edge window of the cover-repair stream (the edge count a
+    #: from-scratch rebuild re-inserts at every boundary).
+    ROTATION_COVER_WINDOW = 2_000
+    #: Edge events of the cover-repair stream (~440 boundary samples -
+    #: enough that the recorded tail percentiles mean something, and the
+    #: gated *median* is rock-stable).
+    ROTATION_COVER_EVENTS = 24_000
+    #: Events between epoch boundaries (cover queries) in the cover leg.
+    ROTATION_COVER_BOUNDARY = 50
+    #: Inserts per engine run in the rotation fingerprint matrix.
+    ROTATION_MATRIX_EVENTS = 6_000
 
 #: Nodes per side in the density sweeps (the paper uses 50 threads / 50 objects).
 FIG4_NODES = 50

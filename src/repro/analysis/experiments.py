@@ -69,6 +69,13 @@ EXTENDED_MECHANISMS: Dict[str, MechanismFactory] = {
     "adaptive-popularity-windowed": lambda seed: WindowedPopularityMechanism(
         windowed_degrees=True
     ),
+    # The cost-model retirement policy: a dead component is retired only
+    # once the slot rent it has paid (ticks spent dead) beats its decayed
+    # re-add score, cutting rotation *frequency* on churny streams at the
+    # price of a somewhat larger steady clock.
+    "adaptive-popularity-cost": lambda seed: WindowedPopularityMechanism(
+        retirement="cost"
+    ),
     "epoch-hybrid": lambda seed: EpochRotatingHybridMechanism(),
 }
 

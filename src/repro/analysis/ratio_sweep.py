@@ -59,13 +59,16 @@ from repro.analysis.metrics import (
 )
 from repro.analysis.report import format_table
 from repro.computation.registry import REGISTRY, STREAM, Scenario
+from repro.computation.streams import as_stream_event, sliding_window
 from repro.core.kernel import (
     default_backend_override,
     resolve_backend,
     set_default_backend,
 )
 from repro.exceptions import ExperimentError, ScenarioError
+from repro.obs.registry import active as _metrics_active
 from repro.obs.registry import span as _metrics_span
+from repro.online.adaptive import LifecycleClockDriver
 from repro.online.simulator import (
     OFFLINE_LABEL,
     compare_mechanisms_on_stream,
@@ -154,18 +157,21 @@ def _trial_samples(
         else {label: EXTENDED_MECHANISMS[label] for label in task.labels}
     )
     if task.backend is not None:
-        # Pin the kernel backend for the duration of the trial: the
-        # sweep's cells mint no dense timestamps themselves (a ratio is
-        # a size quotient), but any kernel a mechanism or driver
-        # constructs during the trial batches through the selected
-        # backend.  Verdict bit-identity across backends means this can
-        # never change a sweep number.  The prior override is restored
-        # afterwards, so in-process (jobs=1) sweeps do not leak the
-        # selection into the caller's process.
+        # Pin the kernel backend for the duration of the trial.  A ratio
+        # is a size quotient, so the comparison leg alone would leave the
+        # pinned backend idle; the dense-stamp leg below mints a real
+        # timestamp per insert through a LifecycleClockDriver so the
+        # selection does measurable timestamping work (kernel batching,
+        # extension, epoch rotation).  Verdict bit-identity across
+        # backends means the pin can never change a sweep number.  The
+        # prior override is restored afterwards, so in-process (jobs=1)
+        # sweeps do not leak the selection into the caller's process.
         previous = default_backend_override()
         set_default_backend(task.backend)
         try:
-            return _trial_samples_inner(task, chosen)
+            samples = _trial_samples_inner(task, chosen)
+            _dense_stamp_leg(task, chosen)
+            return samples
         finally:
             set_default_backend(previous)
     return _trial_samples_inner(task, chosen)
@@ -212,6 +218,57 @@ def _trial_samples_inner(
         [float(s) for s in offline_sizes[-task.tail :]],
     )
     return samples
+
+
+def _dense_stamp_leg(
+    task: _TrialTask, chosen: Mapping[str, MechanismFactory]
+) -> None:
+    """Mint one dense timestamp per insert through the pinned backend.
+
+    Runs only when the trial pins a backend: the trial's stream is
+    regenerated (same seed, same events, same imposed window) and driven
+    through a :class:`~repro.online.adaptive.LifecycleClockDriver` built
+    on the first selected mechanism, so every insert mints a timestamp,
+    every appended component extends the kernel and every retirement or
+    epoch boundary rotates it - the timestamping workload ``--backend``
+    exists to exercise.  The leg writes nothing into the trial's samples
+    (sweep numbers stay bit-identical with and without it); its
+    footprint is wall-clock plus the ``sweep.stamps`` counter and the
+    kernel / rotation telemetry the driver already emits.
+    """
+    scenario = REGISTRY.get(task.scenario, kind=STREAM)
+    trial_root = derive_seed(
+        task.base_seed, task.scenario, task.density, task.size, task.trial
+    )
+    events = scenario.build(
+        task.size,
+        task.size,
+        task.density,
+        task.num_events,
+        seed=derive_seed(trial_root, "stream"),
+    )
+    if not scenario.expires:
+        events = sliding_window(events, task.window)
+    label = task.labels[0]
+    factory = seed_mechanism_factories(
+        {label: chosen[label]}, derive_seed(trial_root, "stamps")
+    )[label]
+    driver = LifecycleClockDriver(factory())
+    inserts = 0
+    for item in events:
+        event = as_stream_event(item)
+        if event.is_epoch:
+            driver.end_epoch()
+        elif event.is_insert:
+            inserts += 1
+            driver.observe(event.thread, event.obj)
+            if task.epoch is not None and inserts % task.epoch == 0:
+                driver.end_epoch()
+        else:
+            driver.expire(event.thread, event.obj)
+    registry = _metrics_active()
+    if registry is not None:
+        registry.add("sweep.stamps", inserts)
 
 
 def _run_trial_task(task: _TrialTask) -> _TrialSamples:
@@ -284,7 +341,12 @@ def ratio_sweep(
         Kernel backend name pinned in every worker for the duration of
         its trials (``python`` / ``numpy``; ``None`` keeps the process
         default).  Validated up front, so a ``numpy`` request without
-        numpy fails here rather than inside a worker.
+        numpy fails here rather than inside a worker.  Pinning also
+        enables the dense-stamp leg: each trial re-drives its stream
+        through a :class:`~repro.online.adaptive.LifecycleClockDriver`
+        minting a timestamp per insert, so the selected backend does
+        real timestamping work instead of idling behind a size quotient
+        (sweep numbers are bit-identical either way).
     """
     if mechanisms is not None and labels is not None:
         raise ExperimentError("pass either mechanisms or labels, not both")

@@ -53,6 +53,7 @@ from repro.computation import GRAPH, HappenedBefore, REGISTRY, STREAM, TRACE
 from repro.computation.serialization import dump_computation, load_computation
 from repro.computation.workloads import paper_example_trace
 from repro.core.kernel import NUMPY_BACKEND, PYTHON_BACKEND
+from repro.core.timestamping import ROTATION_STRATEGIES
 from repro.engine import EngineConfig, run_engine
 from repro.engine.runner import PIPELINES as ENGINE_PIPELINES
 from repro.engine.sharding import STRATEGIES as ENGINE_STRATEGIES
@@ -180,10 +181,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--backend", choices=list(KERNEL_BACKENDS), default=None,
         help="kernel backend pinned (and restored after) in every "
-        "ratio-sweep worker; validated up front.  The standard sweep mints "
-        "no dense timestamps, so today this only affects custom mechanisms "
-        "that build ClockKernels during a trial (numpy stays optional and "
-        "gated; results are identical for every choice)",
+        "ratio-sweep worker; validated up front.  Pinning also adds a "
+        "dense-stamp leg per trial - the stream is re-driven through a "
+        "LifecycleClockDriver minting a timestamp per insert - so the "
+        "selected backend does real timestamping work (numpy stays "
+        "optional and gated; sweep numbers are identical for every choice)",
     )
     sweep.add_argument(
         "--metrics", default=None, metavar="PATH",
@@ -288,6 +290,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend", choices=list(KERNEL_BACKENDS), default=None,
         help="kernel backend for the timestamping stage (numpy is gated "
         "on being importable; stamps are bit-identical across backends)",
+    )
+    engine_run.add_argument(
+        "--rotation", choices=list(ROTATION_STRATEGIES), default=None,
+        help="epoch-rotation strategy pinned inside every shard task "
+        "(delta = project live stamps on pure retirements, replay = "
+        "re-stamp the window; default: the process default, normally "
+        "delta).  Execution-only - fingerprints are bit-identical across "
+        "strategies",
     )
     engine_run.add_argument(
         "--timestamps", action="store_true",
@@ -439,6 +449,7 @@ def _cmd_engine(args: argparse.Namespace) -> int:
         backend=args.backend,
         timestamps=args.timestamps,
         workers=args.workers,
+        rotation=args.rotation,
     )
     # One timing mechanism for the whole CLI: a telemetry registry is
     # always installed around the run (its disabled/enabled state never

@@ -158,10 +158,16 @@ class Timestamp:
         return self <= other and self._values != other._values
 
     def __ge__(self, other: "Timestamp") -> bool:
-        return other <= self
+        # Computed directly rather than delegating to ``other <= self``:
+        # when exactly one operand is a Timestamp *subclass* (a kernel's
+        # lazy stamp), Python dispatches the delegated comparison back to
+        # the subclass's inherited reflected operator first, and the two
+        # delegating forms recurse into each other forever.
+        self._check_compatible(other)
+        return all(a >= b for a, b in zip(self._values, other._values))
 
     def __gt__(self, other: "Timestamp") -> bool:
-        return other < self
+        return self >= other and self._values != other._values
 
     def concurrent_with(self, other: "Timestamp") -> bool:
         """``True`` iff neither timestamp dominates the other (and they differ)."""

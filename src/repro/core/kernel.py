@@ -30,7 +30,11 @@ caller replays the live window so every surviving event is re-timestamped
 in the new epoch's basis).  Timestamps minted in an epoch reference only
 that epoch's components; :class:`~repro.core.timestamping.EpochClock`
 wraps the replay and proves verdict preservation with the
-re-timestamping invariant check.
+re-timestamping invariant check.  For the pure-retirement case - the new
+set is a subset of the old and no retired component touches a live
+event - :meth:`ClockKernel.rotate_epoch_delta` replaces the replay with
+an ``O(live)`` slot *projection* of the surviving clock vectors;
+``EpochClock.rotate`` owns the applicability gate and the fallback.
 
 Backends
 --------
@@ -82,7 +86,8 @@ numpy installed raises a clean :class:`~repro.exceptions.ClockError`.
 from __future__ import annotations
 
 import os
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from operator import itemgetter
+from typing import AbstractSet, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.clock import Timestamp
 from repro.core.components import ClockComponents
@@ -144,6 +149,122 @@ def fold_stamp_values(fold: int, thread_value: int, object_value: int) -> int:
         (fold ^ (thread_value * 2654435761 + object_value * 40503 + 1))
         * _FOLD_PRIME
     ) & _FOLD_MASK
+
+
+def _values_gather(indices: Sequence[int]):
+    """A C-level tuple gather: ``values -> tuple(values[i] for i in indices)``.
+
+    ``operator.itemgetter`` runs the whole gather inside the interpreter
+    core, which is what keeps epoch-rotation projection ``O(live)`` with
+    a memcpy-class constant instead of a bytecode-per-slot one.  The
+    zero- and one-index cases are special-cased because ``itemgetter``
+    changes shape there (no arguments is an error, one argument returns
+    a bare value).
+    """
+    if not indices:
+        return lambda values: ()
+    if len(indices) == 1:
+        index = indices[0]
+        return lambda values: (values[index],)
+    return itemgetter(*indices)
+
+
+class _ProjectedStamp(Timestamp):
+    """A lazily materialised re-layout of another stamp.
+
+    Epoch rotation's slot projection and component extension's zero-pad
+    share this one wrapper: ``_relayout`` maps the *source* stamp's
+    value tuple into this stamp's component layout and runs on first
+    ``_values`` access only, so a stamp that expires before anyone
+    compares or folds it never pays the gather at all - the mechanism
+    that turns an ``O(live · k)`` rotation spike into ``O(live)``
+    wrapper allocations plus read-amortised slot work.
+
+    ``_relayout`` is ``(gather, absent, threads)``: the compiled
+    :func:`_values_gather` into the wrap-time basis, that basis's size
+    (doubling as the absent-reads-zero sentinel - application appends
+    one ``0`` so sentinel indices land on it, which is
+    :func:`rebase_timestamp`'s rule without per-slot dict probes), and
+    its thread-block length.  The source may sit in any *append
+    ancestor* of that basis - the only stale shape lazy extension
+    produces inside an epoch - and materialisation lifts it by counts
+    alone (two zero pads at the block boundaries), so one relayout per
+    rotation serves every live stamp regardless of when each was last
+    touched.
+
+    Re-wrapping an unmaterialised wrapper *chains*: the new wrapper's
+    source is the old wrapper, and materialisation walks the chain
+    iteratively, newest-in, oldest-out.  A chain link costs nothing
+    until somebody reads the stamp, and most ledger stamps are never
+    read - they expire out of the window - so the gathers a rotation
+    defers are mostly never paid at all, not merely paid later.
+    The chain's memory is proportional to steps survived unread (a
+    constant-size link per rotation or extension), reclaimed wholesale
+    when the stamp expires or materialises.  Bounding it tighter was
+    tried and rejected: any depth cap must resolve the capped links
+    (composing index maps costs the same ``O(k)`` per link as gathering
+    values), and collapse cohorts are too small to amortise it, so a
+    cap just smears the eager-rotation bill the chain exists to avoid.
+    Like :class:`_ArrayStamp`, the wrapper *is* a :class:`Timestamp`
+    (same comparisons, same accessors) and pickles as the plain
+    materialised stamp it stands for.
+    """
+
+    __slots__ = ("_source", "_relayout")
+
+    @classmethod
+    def _make(
+        cls, components: ClockComponents, source: Timestamp, relayout: tuple
+    ) -> "_ProjectedStamp":
+        stamp = object.__new__(cls)
+        stamp._components = components
+        stamp._source = source
+        stamp._relayout = relayout
+        return stamp
+
+    def __getattr__(self, name: str):
+        # Only the _values slot is lazy; anything else genuinely absent.
+        if name != "_values":
+            raise AttributeError(name)
+        # Collect the unmaterialised chain iteratively: attribute-driven
+        # recursion would hit the interpreter's recursion limit on a
+        # stamp that survived a thousand rotations unread.
+        pending = [self]
+        source = self._source
+        while type(source) is _ProjectedStamp and source._source is not None:
+            pending.append(source)
+            source = source._source
+        registry = _metrics_active()
+        if registry is not None:
+            registry.add("kernel.lazy_stamps.materialised", len(pending))
+        values = source._values
+        for node in reversed(pending):
+            gather, absent, threads = node._relayout
+            if len(values) != absent:
+                # The source sits in a strict append ancestor of the
+                # wrap-time basis: lift it by inserting zero pads after
+                # its thread block and at its end.  Count-based - the
+                # within-epoch invariant (rotation re-wraps every live
+                # stamp, extension only appends) guarantees the shape.
+                block = len(node._source._components.thread_components)
+                values = (
+                    values[:block]
+                    + (0,) * (threads - block)
+                    + values[block:]
+                    + (0,) * (absent - threads - (len(values) - block))
+                )
+            values = gather(values + (0,))
+            node._values = values
+            # Release the chain link: a materialised wrapper no longer
+            # pins its source (or the rotation's shared relayout).
+            node._source = None
+            node._relayout = None
+        return values
+
+    def __reduce__(self):
+        # Checkpoints and cross-process transfers serialise the plain
+        # materialised stamp, never the lazy structure.
+        return (Timestamp._from_trusted, (self._components, self._values))
 
 
 def rebase_timestamp(
@@ -1042,7 +1163,8 @@ class ClockKernel:
         # holds numpy arrays (unloadable on a numpy-less host) that the
         # backend rebuilds on demand, so checkpoints never carry it.
         # Stamp handles in the dicts serialise as materialised
-        # Timestamps via _ArrayStamp.__reduce__.
+        # Timestamps via _ArrayStamp.__reduce__ /
+        # _ProjectedStamp.__reduce__.
         return {
             slot: getattr(self, slot)
             for slot in self.__slots__
@@ -1217,6 +1339,126 @@ class ClockKernel:
         self._bind_components(new_components)
         return retired
 
+    def rotate_epoch_delta(
+        self,
+        new_components: ClockComponents,
+        live_threads: AbstractSet[Vertex],
+        live_objects: AbstractSet[Vertex],
+        live_stamps: Sequence[Timestamp],
+    ) -> List[Timestamp]:
+        """Begin a new epoch by *projection*; returns the re-based stamps.
+
+        The incremental counterpart of :meth:`rotate_epoch` for the
+        pure-retirement case: ``new_components`` must be a subset of the
+        current set (retired slots drop, no additions).  Instead of
+        discarding all clock state and replaying the live window, every
+        surviving clock vector is *projected* - surviving slots gathered
+        into the new order, retired slots dropped - in ``O(live)`` slot
+        moves with no per-event update-rule work.  Thread/object clocks
+        outside ``live_threads`` / ``live_objects`` are dropped: an
+        endpoint with no live event contributes nothing to future merges
+        that a replay would have kept.
+
+        ``live_stamps`` run through the same identity-keyed projection
+        cache as the endpoint clocks, preserving the instance sharing
+        between the caller's ledger and the stamp dicts that the
+        slot-delta fast paths rely on.  Returns the projections of
+        ``live_stamps`` in input order.  The epoch / retired-total
+        counters advance exactly as :meth:`rotate_epoch` would.
+
+        When projection preserves causal verdicts - and the fallback to
+        :meth:`rotate_epoch` + replay when it would not - is owned by
+        :meth:`EpochClock.rotate
+        <repro.core.timestamping.EpochClock.rotate>`'s applicability
+        gate; this method trusts its caller on that.
+        """
+        old = self._components
+        retired = len(old.thread_components - new_components.thread_components)
+        retired += len(old.object_components - new_components.object_components)
+        self._retired_total += retired
+        self._epoch += 1
+        project = self._project_stamps(
+            new_components, live_threads, live_objects
+        )
+        stamps = [project(stamp) for stamp in live_stamps]
+        self._invalidate_cache()
+        self._bind_components(new_components)
+        return stamps
+
+    def _project_stamps(
+        self,
+        new_components: ClockComponents,
+        live_threads: AbstractSet[Vertex],
+        live_objects: AbstractSet[Vertex],
+    ):
+        """Project the endpoint clock dicts onto a subset of the layout.
+
+        Prunes each stamp dict to its live endpoints, re-expresses every
+        kept vector over ``new_components`` by gathering the surviving
+        slots, and returns the projection function so the caller can run
+        its own stamps through the same identity-keyed cache (see
+        :meth:`_rebase_stamps` for why the cache is keyed by ``id`` and
+        why ``keep`` pins the inputs).  Dropping slots breaks the
+        resident-array cache's pure-append pad model, so the cache is
+        invalidated wholesale here.
+
+        An :class:`_ArrayStamp` gathers eagerly off its resident array
+        (a C-level ``take``; the projected handle is born in the new
+        layout, so later pad-on-read still applies).  Everything else -
+        plain stamps, stale ledger entries lazy extension left in an
+        append ancestor, wrappers from earlier rotations, materialised
+        or not - takes one uniform path: wrap in a
+        :class:`_ProjectedStamp` around the stamp *as is*, sharing the
+        single relayout built here.  No per-stamp slot work, no
+        per-basis map builds, no composition: count-based padding at
+        materialisation absorbs stale bases, and chaining absorbs
+        prior wrappers.  That uniformity is what flattens rotation p99
+        - the rotation itself is ``O(live)`` constant-size allocations
+        plus one ``O(k)`` gather compile, and deferred gathers are paid
+        only for stamps somebody actually reads again (for ledger
+        stamps, usually nobody does).
+        """
+        old = self._components
+        old_index = old._index
+        old_threads = len(old.thread_components)
+        old_size = old.size
+        gather = [old_index[c] for c in new_components.ordered]
+        relayout = (_values_gather(gather), old_size, old_threads)
+        new_threads = len(new_components.thread_components)
+        projected: Dict[int, Timestamp] = {}
+        keep: List[Timestamp] = []
+        make = _ProjectedStamp._make
+
+        def project(stamp: Timestamp) -> Timestamp:
+            cached = projected.get(id(stamp))
+            if cached is None:
+                if type(stamp) is _ArrayStamp:
+                    cached = _ArrayStamp._make(
+                        new_components,
+                        _handle_array(stamp, old_threads, old_size).take(
+                            gather
+                        ),
+                        new_threads,
+                    )
+                else:
+                    cached = make(new_components, stamp, relayout)
+                projected[id(stamp)] = cached
+                keep.append(stamp)
+            return cached
+
+        self._thread_stamps = {
+            vertex: project(stamp)
+            for vertex, stamp in self._thread_stamps.items()
+            if vertex in live_threads
+        }
+        self._object_stamps = {
+            vertex: project(stamp)
+            for vertex, stamp in self._object_stamps.items()
+            if vertex in live_objects
+        }
+        self._invalidate_cache()
+        return project
+
     def _rebase_stamps(self, new_components: ClockComponents) -> None:
         """Re-express every stored clock over ``new_components`` by identity.
 
@@ -1261,6 +1503,10 @@ class ClockKernel:
         if is_append:
             thread_pad = (0,) * added_threads
             object_pad = (0,) * (new_components.size - old_size - added_threads)
+            # The pad as a relayout (sentinel old_size reads zero), for
+            # re-wrapping unmaterialised projections; built lazily since
+            # most extensions never meet one.
+            pad_relayout: List[Optional[tuple]] = [None]
 
             def rebase(stamp: Timestamp) -> Timestamp:
                 cached = rebased.get(id(stamp))
@@ -1274,6 +1520,29 @@ class ClockKernel:
                         # near-free on the array path.
                         cached = _ArrayStamp._make(
                             new_components, stamp._array, stamp._born_threads
+                        )
+                    elif (
+                        type(stamp) is _ProjectedStamp
+                        and stamp._source is not None
+                    ):
+                        # An unmaterialised projection stays lazy: an
+                        # eager pad here would force it and hand the
+                        # rotation's deferred gather bill to the very
+                        # next component extension.  Chaining keeps the
+                        # extension O(1) per wrapper.
+                        if pad_relayout[0] is None:
+                            pad_relayout[0] = (
+                                _values_gather(
+                                    tuple(range(old_threads))
+                                    + (old_size,) * added_threads
+                                    + tuple(range(old_threads, old_size))
+                                    + (old_size,) * len(object_pad)
+                                ),
+                                old_size,
+                                old_threads,
+                            )
+                        cached = _ProjectedStamp._make(
+                            new_components, stamp, pad_relayout[0]
                         )
                     else:
                         values = stamp._values

@@ -27,6 +27,7 @@ timestamps (that is what Theorem 2 promises is possible).
 
 from __future__ import annotations
 
+import os
 from collections import deque
 from typing import Deque, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
@@ -41,6 +42,10 @@ from repro.exceptions import (
     RetimestampingError,
 )
 from repro.graph.bipartite import Vertex
+
+# Telemetry write handle (same pattern as the kernel: fetch once per
+# rotation, guard on ``is not None`` - never a per-event cost).
+from repro.obs.registry import active as _metrics_active
 
 
 class VectorClockProtocol:
@@ -353,6 +358,64 @@ def verify_retimestamping(
                 )
 
 
+# -- rotation strategy selection --------------------------------------------
+#: Rotation strategy names (see :meth:`EpochClock.rotate`).
+DELTA_ROTATION = "delta"
+REPLAY_ROTATION = "replay"
+
+#: Strategies :class:`EpochClock` accepts.  Both are always available
+#: (unlike kernel backends, neither needs an optional dependency): the
+#: choice only moves work between the rotation boundary and nothing -
+#: causal verdicts, tokens, retired counts and engine fingerprints are
+#: identical by contract, and the property tests assert it.
+ROTATION_STRATEGIES = (DELTA_ROTATION, REPLAY_ROTATION)
+
+_DEFAULT_ROTATION: Optional[str] = None
+
+
+def resolve_rotation(name: str) -> str:
+    """Validate a rotation strategy name; returns it unchanged."""
+    if name not in ROTATION_STRATEGIES:
+        raise ClockError(
+            f"unknown rotation strategy {name!r}; available strategies: "
+            f"{', '.join(ROTATION_STRATEGIES)}"
+        )
+    return name
+
+
+def default_rotation_name() -> str:
+    """The strategy a rotation-less :class:`EpochClock` uses right now.
+
+    Resolution order mirrors the kernel-backend default:
+    :func:`set_default_rotation`, then the ``REPRO_ROTATION_STRATEGY``
+    environment variable, then ``"delta"``.
+    """
+    if _DEFAULT_ROTATION is not None:
+        return _DEFAULT_ROTATION
+    env = os.environ.get("REPRO_ROTATION_STRATEGY", "").strip()
+    if env:
+        return resolve_rotation(env)
+    return DELTA_ROTATION
+
+
+def default_rotation_override() -> Optional[str]:
+    """The :func:`set_default_rotation` override currently installed.
+
+    ``None`` when unset.  Callers that pin the strategy for a scoped run
+    (the engine's shard loop, benchmark legs) save this, install their
+    own, and restore in a ``finally`` - restoring the *override* rather
+    than the resolved name keeps a surrounding environment-variable
+    default live after the scope ends.
+    """
+    return _DEFAULT_ROTATION
+
+
+def set_default_rotation(name: Optional[str]) -> None:
+    """Install (or with ``None`` clear) the process-default strategy."""
+    global _DEFAULT_ROTATION
+    _DEFAULT_ROTATION = None if name is None else resolve_rotation(name)
+
+
 class EpochClock:
     """Lifecycle-aware timestamping: ``observe`` / ``expire`` / ``rotate``.
 
@@ -368,11 +431,16 @@ class EpochClock:
     *token*; causality queries (:meth:`relation`,
     :meth:`happened_before`, :meth:`concurrent`) are answered for any
     pair of **live** tokens, in the current epoch's basis.  A rotation
-    replays the live events through the kernel in stream order, so the
-    ledger's timestamps (and the thread/object clocks future events
-    merge from) are always expressed over the current component set;
-    with ``check_invariant=True`` each rotation runs
-    :func:`verify_retimestamping` before committing.
+    re-stamps the live window over the new component set - by slot
+    *projection* when the rotation is a pure retirement, by full replay
+    otherwise (see :meth:`rotate`); with ``check_invariant=True`` every
+    rotation replays and runs :func:`verify_retimestamping` before
+    committing.
+
+    ``rotation`` selects the strategy per clock (``"delta"`` /
+    ``"replay"``); ``None`` resolves :func:`default_rotation_name` at
+    each rotation, so :func:`set_default_rotation` /
+    ``REPRO_ROTATION_STRATEGY`` steer rotation-less clocks process-wide.
     """
 
     def __init__(
@@ -381,6 +449,7 @@ class EpochClock:
         strict: bool = True,
         check_invariant: bool = False,
         backend: Optional[object] = None,
+        rotation: Optional[str] = None,
     ) -> None:
         self._kernel = ClockKernel(
             components if components is not None else ClockComponents(),
@@ -388,6 +457,9 @@ class EpochClock:
             backend=backend,
         )
         self._check_invariant = check_invariant
+        self._rotation = (
+            resolve_rotation(rotation) if rotation is not None else None
+        )
         # token -> (thread, obj); dicts preserve insertion (= stream) order
         # under deletion, which is what rotation's replay relies on.
         self._live_pairs: Dict[int, Tuple[Vertex, Vertex]] = {}
@@ -422,11 +494,22 @@ class EpochClock:
         return tuple(self._live_pairs)
 
     def timestamp(self, token: int) -> Timestamp:
-        """The (current-epoch) timestamp of a live event."""
+        """The (current-epoch) timestamp of a live event.
+
+        A stamp minted before a component extension is stored in its
+        mint-time basis and re-based onto the current set here, on first
+        read (see :meth:`extend`); the re-based stamp is written back so
+        repeated queries pay the rebase once.
+        """
         try:
-            return self._live_stamps[token]
+            stamp = self._live_stamps[token]
         except KeyError:
             raise ClockError(f"event token {token} is not live") from None
+        components = self._kernel.components
+        if stamp.components is not components:
+            stamp = rebase_timestamp(stamp, components)
+            self._live_stamps[token] = stamp
+        return stamp
 
     # -- the lifecycle ------------------------------------------------------
     def observe(self, thread: Vertex, obj: Vertex) -> int:
@@ -487,36 +570,100 @@ class EpochClock:
         thread_components: Tuple[Vertex, ...] = (),
         object_components: Tuple[Vertex, ...] = (),
     ) -> None:
-        """Append components (no epoch change); live stamps are re-based.
+        """Append components (no epoch change); live stamps re-base lazily.
 
         New components are zero in every existing timestamp - the value
         they would have carried had they been present from the start -
         so no verdict among recorded events can change; only the basis
-        widens.
+        widens.  The live ledger is *not* eagerly rewritten: a stamp is
+        re-based onto the current component set on first read
+        (:meth:`timestamp`), mirroring the kernel cache's pad-on-read,
+        so warm-up component growth costs ``O(1)`` per extension here
+        instead of ``O(live)``.
         """
-        old = self._kernel.components
-        extended = self._kernel.extend_components(
-            thread_components, object_components
-        )
-        if extended is old:
-            return
-        for token, stamp in self._live_stamps.items():
-            self._live_stamps[token] = rebase_timestamp(stamp, extended)
+        self._kernel.extend_components(thread_components, object_components)
 
     def rotate(self, new_components: ClockComponents) -> int:
-        """Enter a new epoch: retire/rebuild components, replay the window.
+        """Enter a new epoch: retire/rebuild components, re-stamp the window.
 
-        The live events are replayed in stream order through the rotated
-        kernel, which both re-timestamps them over ``new_components``
-        (compacted: retired slots are gone) and rebuilds the per-thread /
-        per-object clocks future events merge from.  Returns the number
-        of retired components.  With ``check_invariant=True`` the
-        re-timestamping invariant is verified before the new stamps are
-        visible; on violation the clock is unusable and the caller should
-        treat the mechanism driving it as buggy.
+        Two strategies (see the class docstring for how one is chosen):
+
+        * ``"replay"`` - the kernel discards all clock state and the
+          live events are replayed in stream order, which both
+          re-timestamps them over ``new_components`` (compacted: retired
+          slots are gone) and rebuilds the per-thread / per-object
+          clocks future events merge from.  ``O(window)`` update-rule
+          applications per rotation - the latency spike ROADMAP item 5
+          charges to epoch boundaries.
+        * ``"delta"`` (the default) - when the rotation is a **pure
+          retirement** (``new_components`` is a subset of the current
+          set *and* no retired component is an endpoint of a live
+          event), the kernel instead projects every live stamp and
+          surviving endpoint clock: retired slots dropped, surviving
+          slots gathered, ``O(live)`` slot moves with no update-rule
+          work (:meth:`ClockKernel.rotate_epoch_delta
+          <repro.core.kernel.ClockKernel.rotate_epoch_delta>`).  Any
+          rotation outside that case silently falls back to replay; the
+          ``clock.rotation.delta`` / ``clock.rotation.replay`` counters
+          record which path ran.
+
+        Projection preserves every causal verdict among live and future
+        events: the gate guarantees each live event keeps the component
+        whose slot its stamping incremented (its mint-time *marker*),
+        marker values are untouched by projection and monotone under
+        future merges, and the dropped clocks of non-live endpoints
+        influence nothing a replay would have kept.  Projected stamp
+        *values* are however not the replayed values (replay
+        renormalises to the live window; projection keeps pre-rotation
+        magnitudes), so the strategies are verdict- and token-identical
+        but not value-identical - which is why ``check_invariant=True``
+        always forces replay: :func:`verify_retimestamping` is the
+        oracle the property tests compare the delta path against.
+
+        Returns the number of retired components.  With
+        ``check_invariant=True`` the re-timestamping invariant is
+        verified before the new stamps are visible; on violation the
+        clock is unusable and the caller should treat the mechanism
+        driving it as buggy.
         """
+        old = self._kernel.components
+        strategy = (
+            self._rotation
+            if self._rotation is not None
+            else default_rotation_name()
+        )
+        use_delta = (
+            strategy == DELTA_ROTATION
+            and not self._check_invariant
+            and new_components.thread_components <= old.thread_components
+            and new_components.object_components <= old.object_components
+        )
+        if use_delta:
+            live_threads = {thread for thread, _ in self._live_pairs.values()}
+            live_objects = {obj for _, obj in self._live_pairs.values()}
+            use_delta = not (
+                (old.thread_components - new_components.thread_components)
+                & live_threads
+                or (old.object_components - new_components.object_components)
+                & live_objects
+            )
+        registry = _metrics_active()
+        if use_delta:
+            tokens = list(self._live_pairs)
+            projected = self._kernel.rotate_epoch_delta(
+                new_components,
+                live_threads,
+                live_objects,
+                [self._live_stamps[token] for token in tokens],
+            )
+            self._live_stamps = dict(zip(tokens, projected))
+            if registry is not None:
+                registry.add("clock.rotation.delta")
+            return old.size - new_components.size
         old_stamps: List[Timestamp] = (
-            list(self._live_stamps.values()) if self._check_invariant else []
+            [self.timestamp(token) for token in self._live_pairs]
+            if self._check_invariant
+            else []
         )
         retired = self._kernel.rotate_epoch(new_components)
         new_stamps: Dict[int, Timestamp] = {}
@@ -527,6 +674,8 @@ class EpochClock:
                 old_stamps, list(new_stamps.values()), new_components
             )
         self._live_stamps = new_stamps
+        if registry is not None:
+            registry.add("clock.rotation.replay")
         return retired
 
     # -- causality queries on live events -----------------------------------

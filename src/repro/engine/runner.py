@@ -68,6 +68,11 @@ from repro.computation.registry import REGISTRY, STREAM
 from repro.computation.streams import EPOCH
 from repro.core.components import ClockComponents
 from repro.core.kernel import ClockKernel, resolve_backend
+from repro.core.timestamping import (
+    default_rotation_override,
+    resolve_rotation,
+    set_default_rotation,
+)
 from repro.engine.checkpoint import EngineCheckpointManager, ShardCheckpoint
 from repro.engine.executor import ShardExecutor
 from repro.engine.results import (
@@ -112,6 +117,10 @@ NON_SIGNATURE_FIELDS = (
                              # result is bit-identical across worker counts and
                              # to the per-shard jobs mode, so checkpoints cross
                              # worker counts freely (asserted by the tests)
+    "rotation",              # execution-only: delta and replay rotation are
+                             # verdict- and digest-identical by construction,
+                             # and the engine's own timestamping kernels are
+                             # append-only so rotation never fires in-shard
 )
 
 
@@ -170,6 +179,16 @@ class EngineConfig:
     shards, and forbids ``jobs > 1`` (the pool is sized by ``workers``).
     Like ``jobs`` it is wall-clock only - the merged result, and every
     checkpoint, is bit-identical across ``workers`` values.
+
+    ``rotation`` pins the process-default epoch-rotation strategy
+    (``"delta"`` / ``"replay"``, see
+    :func:`repro.core.timestamping.set_default_rotation`) inside every
+    shard task, restoring the prior default afterwards.  Execution-only:
+    the two strategies are verdict- and digest-identical by
+    construction, and the engine's own timestamping kernels are
+    append-only, so this knob exists to let benchmarks and operators
+    force the replay baseline through one flag rather than the
+    environment.
     """
 
     scenario: str
@@ -192,6 +211,7 @@ class EngineConfig:
     backend: Optional[str] = None
     timestamps: bool = False
     workers: Optional[int] = None
+    rotation: Optional[str] = None
 
     def validate(self) -> None:
         try:
@@ -262,6 +282,11 @@ class EngineConfig:
                     )
         if self.workers is not None and self.workers < 1:
             raise EngineError(f"workers must be >= 1, got {self.workers}")
+        if self.rotation is not None:
+            try:
+                resolve_rotation(self.rotation)
+            except ClockError as error:
+                raise EngineError(str(error)) from None
 
     @property
     def stride(self) -> int:
@@ -784,6 +809,29 @@ class _ShardRun:
 
 
 def run_shard_group(
+    config: EngineConfig, shard_ids: Sequence[int]
+) -> Dict[int, PartialResult]:
+    """Pin ``config.rotation`` (if set) around :func:`_run_shard_group`.
+
+    The strategy is installed as the process default for the duration of
+    the task and the previous *override* (not the resolved name) is
+    restored in a ``finally``, so a surrounding environment-variable
+    default survives the scope - the same discipline the ratio sweep
+    applies to kernel backends.  Runs in the pool worker process when
+    the engine is worker-pooled, which is exactly where the pin must
+    live.
+    """
+    if config.rotation is None:
+        return _run_shard_group(config, shard_ids)
+    saved = default_rotation_override()
+    set_default_rotation(config.rotation)
+    try:
+        return _run_shard_group(config, shard_ids)
+    finally:
+        set_default_rotation(saved)
+
+
+def _run_shard_group(
     config: EngineConfig, shard_ids: Sequence[int]
 ) -> Dict[int, PartialResult]:
     """Run a contiguous group of shards to completion in ONE stream pass.

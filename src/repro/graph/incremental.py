@@ -49,8 +49,11 @@ streamed reveals may repeat a live pair, the engine counts per-edge
 multiplicity: an edge leaves the graph only when *every* live event that
 revealed it has expired.  The minimum-vertex-cover *size* is maintained
 lazily for free (it always equals the matching size, by König-Egerváry /
-Theorem 3 of the paper); the cover's concrete vertex set is materialised
-on demand and cached until the next structural change.
+Theorem 3 of the paper); the cover's concrete vertex set is derived from
+*incrementally repaired* alternating-reachability sets (see
+:meth:`DynamicMatching.vertex_cover`) and cached until the next
+structural change, so an epoch boundary that queries the cover after a
+quiet interval pays ``O(V)`` assembly, not an ``O(V + E)`` sweep.
 
 :class:`IncrementalMatching` survives as the append-only subclass, and
 :func:`sliding_window_optimum_trajectory` packages the windowed regime
@@ -65,7 +68,12 @@ from typing import Deque, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 from repro.exceptions import GraphError
 from repro.graph.bipartite import BipartiteGraph, Edge, Vertex
 from repro.graph.matching import Matching, augment_from_unmatched_thread
-from repro.graph.vertex_cover import konig_vertex_cover
+from repro.graph.vertex_cover import alternating_reachable
+
+# Telemetry write handle (write-only in result paths per C206): counts
+# how often the König cover could be assembled from repaired
+# reachability sets vs rebuilt by a full alternating-forest sweep.
+from repro.obs.registry import active as _metrics_active
 
 
 class DynamicMatching:
@@ -93,6 +101,13 @@ class DynamicMatching:
         # to the total number of events ever processed.
         self._trajectory: Optional[List[int]] = [] if record_trajectory else None
         self._cover_cache: Optional[FrozenSet[Vertex]] = None
+        # Alternating-reachability sets (König's Z: vertices reachable
+        # from free threads along alternating paths), maintained
+        # incrementally across mutations.  ``_reach_threads is None``
+        # means dirty - the next cover query rebuilds both sets with one
+        # full sweep.  Exact for the empty graph, so start clean.
+        self._reach_threads: Optional[Set[Vertex]] = set()
+        self._reach_objects: Set[Vertex] = set()
         for thread, obj in edges:
             self.add_edge(thread, obj)
 
@@ -129,12 +144,35 @@ class DynamicMatching:
     def vertex_cover(self) -> FrozenSet[Vertex]:
         """A minimum vertex cover of the live graph (König construction).
 
-        Computed on demand from the maintained maximum matching and cached
-        until the next structural change (an edge actually entering or
-        leaving the graph), so bursts of queries between events are cheap.
+        Assembled on demand as ``(threads - Z_threads) | Z_objects`` from
+        the *incrementally repaired* alternating-reachability sets and
+        cached until the next structural change (an edge actually
+        entering or leaving the graph).  Mutations that provably leave
+        the alternating forest intact - multiplicity bumps, inserts that
+        the matching absorbed without moving (a monotone closure adds any
+        newly reachable suffix), non-matched deletions whose thread was
+        unreachable, prunes of isolated vertices - keep the sets exact;
+        anything that moves a matched edge marks them dirty, and the next
+        query rebuilds them with one :func:`alternating_reachable` sweep.
+        The ``matching.cover.repairs`` / ``matching.cover.rebuilds``
+        counters record which path served each (cache-missing) query; the
+        property tests assert the repaired cover equals the from-scratch
+        König cover under random interleaved churn.
         """
         if self._cover_cache is None:
-            self._cover_cache = konig_vertex_cover(self._graph, self.matching())
+            graph = self._graph
+            registry = _metrics_active()
+            if self._reach_threads is None:
+                reachable = alternating_reachable(graph, self.matching())
+                self._reach_threads = set(graph.threads & reachable)
+                self._reach_objects = set(graph.objects & reachable)
+                if registry is not None:
+                    registry.add("matching.cover.rebuilds")
+            elif registry is not None:
+                registry.add("matching.cover.repairs")
+            self._cover_cache = frozenset(
+                (graph.threads - self._reach_threads) | self._reach_objects
+            )
         return self._cover_cache
 
     def multiplicity(self, thread: Vertex, obj: Vertex) -> int:
@@ -167,8 +205,13 @@ class DynamicMatching:
         already-live edge only bumps its multiplicity (size unchanged).
         """
         grew = False
-        if self._graph.add_edge(thread, obj):
-            self._multiplicity[(thread, obj)] = 1
+        key = (thread, obj)
+        if key in self._multiplicity:
+            self._multiplicity[key] += 1
+        else:
+            thread_known = self._graph.has_thread(thread)
+            self._graph.add_edge(thread, obj)
+            self._multiplicity[key] = 1
             self._cover_cache = None
             thread_matched = thread in self._thread_to_object
             object_matched = obj in self._object_to_thread
@@ -184,16 +227,37 @@ class DynamicMatching:
                 self._thread_to_object[thread] = obj
                 self._object_to_thread[obj] = thread
                 grew = True
+                # A pre-existing free thread was a root of the alternating
+                # forest; matching it away is non-monotone.  A brand-new
+                # thread never was a root, and a pre-existing free object
+                # cannot have been reachable (that would have been an
+                # augmenting path), so reachability is untouched.
+                if thread_known:
+                    self._reach_threads = None
             elif not thread_matched:
                 if free_objects:
                     grew = self._augment_from_thread(thread)
+                if grew:
+                    self._reach_threads = None
+                else:
+                    self._absorb_reachable(thread, obj)
             elif not object_matched:
                 if free_threads:
                     grew = self._augment_from_object(obj)
-            elif free_threads and free_objects:
-                grew = self._augment_through_matched_edge(thread, obj)
-        else:
-            self._multiplicity[(thread, obj)] += 1
+                if grew:
+                    self._reach_threads = None
+                else:
+                    self._absorb_reachable(thread, obj)
+            else:
+                if free_threads and free_objects:
+                    grew = self._augment_through_matched_edge(thread, obj)
+                if grew or thread not in self._thread_to_object:
+                    # Success flipped the path; a phase-1 exchange (the
+                    # returned-False case that left ``thread`` free) also
+                    # moved matched edges.  Either way the forest moved.
+                    self._reach_threads = None
+                else:
+                    self._absorb_reachable(thread, obj)
         if self._trajectory is not None:
             self._trajectory.append(len(self._thread_to_object))
         return grew
@@ -230,11 +294,24 @@ class DynamicMatching:
                 # The deleted edge carried the matching: free both
                 # endpoints, then try the only two path families that can
                 # exist (start at the freed thread / end at the freed
-                # object - see the module docstring).
+                # object - see the module docstring).  Freed endpoints
+                # and repair flips both move the alternating forest.
+                self._reach_threads = None
                 del self._thread_to_object[thread]
                 del self._object_to_thread[obj]
                 if not self._augment_from_thread(thread):
                     shrank = not self._augment_from_object(obj)
+            elif (
+                self._reach_threads is not None
+                and thread in self._reach_threads
+            ):
+                # The removed non-matched edge may have been the only
+                # alternating step into some reachable suffix; deletion
+                # is non-monotone, so recompute on the next cover query.
+                # A thread outside Z contributed nothing through this
+                # edge (non-matched edges are walked thread-to-object),
+                # so Z is untouched in that case.
+                self._reach_threads = None
             # Prune endpoints the removal isolated: a degree-0 vertex is
             # necessarily unmatched (a matched pair is always an edge) and
             # can never join an augmenting path, and on unbounded streams
@@ -242,8 +319,12 @@ class DynamicMatching:
             # accumulate without bound.
             if self._graph.degree(thread) == 0:
                 self._graph.remove_isolated_vertex(thread)
+                if self._reach_threads is not None:
+                    self._reach_threads.discard(thread)
             if self._graph.degree(obj) == 0:
                 self._graph.remove_isolated_vertex(obj)
+                if self._reach_threads is not None:
+                    self._reach_objects.discard(obj)
         if self._trajectory is not None:
             self._trajectory.append(len(self._thread_to_object))
         return shrank
@@ -253,6 +334,57 @@ class DynamicMatching:
         for thread, obj in pairs:
             self.remove_edge(thread, obj)
         return self
+
+    # ------------------------------------------------------------------
+    # Incremental alternating reachability (König's Z)
+    # ------------------------------------------------------------------
+    def _absorb_reachable(self, thread: Vertex, obj: Vertex) -> None:
+        """Close the reachability sets over an insert that moved no matching.
+
+        Called after a structural insert of ``(thread, obj)`` that left
+        every matched edge in place.  Z (the alternating-reachability
+        set) is the least fixed point of monotone rules - free threads
+        are roots, non-matched edges walk thread-to-object, matched
+        edges walk object-to-thread - and both possible additions (a new
+        free-thread root, a new thread-to-object step) only *add* rules,
+        so seeding the old Z with the new entry points and closing is
+        exact, not approximate.  No-op when the sets are already dirty.
+        """
+        reach_threads = self._reach_threads
+        if reach_threads is None:
+            return
+        reach_objects = self._reach_objects
+        thread_to_object = self._thread_to_object
+        object_to_thread = self._object_to_thread
+        graph = self._graph
+        # Threads newly absorbed into Z whose edges still need scanning.
+        pending: List[Vertex] = []
+        if thread not in thread_to_object and thread not in reach_threads:
+            reach_threads.add(thread)
+            pending.append(thread)
+        elif (
+            thread in reach_threads
+            and obj not in reach_objects
+            and thread_to_object.get(thread) != obj
+        ):
+            # Only the new edge can have opened anything: ``thread`` was
+            # already closed over its other edges when it joined Z.
+            reach_objects.add(obj)
+            partner = object_to_thread.get(obj)
+            if partner is not None and partner not in reach_threads:
+                reach_threads.add(partner)
+                pending.append(partner)
+        while pending:
+            current = pending.pop()
+            matched = thread_to_object.get(current)
+            for neighbor in graph.thread_neighbors(current):
+                if neighbor == matched or neighbor in reach_objects:
+                    continue
+                reach_objects.add(neighbor)
+                partner = object_to_thread.get(neighbor)
+                if partner is not None and partner not in reach_threads:
+                    reach_threads.add(partner)
+                    pending.append(partner)
 
     # ------------------------------------------------------------------
     # Anchored augmenting-path searches (iterative)

@@ -309,7 +309,9 @@ KERNEL_CLOCK_STATE = (
 _MUTATING_METHODS = frozenset({"clear", "pop", "popitem", "update", "setdefault"})
 
 #: ``self.<method>(...)`` calls that mutate clock state transitively.
-_MUTATING_DELEGATES = frozenset({"_bind_components", "_rebase_stamps"})
+_MUTATING_DELEGATES = frozenset(
+    {"_bind_components", "_rebase_stamps", "_project_stamps"}
+)
 
 #: Cache hooks whose call satisfies the contract.
 _CACHE_HOOKS = frozenset({"_invalidate_cache", "_cache_evict"})
@@ -323,7 +325,8 @@ class KernelCacheInvalidationRule(Rule):
     and the cached arrays to describe the same clocks.  Any method that
     mutates clock state behind the cache's back - writing the stamp
     dicts, rebinding ``_components``/slot maps, or delegating to
-    ``_bind_components``/``_rebase_stamps`` - leaves stale vectors that
+    ``_bind_components``/``_rebase_stamps``/``_project_stamps`` - leaves
+    stale vectors that
     the next batch silently reads: fingerprints diverge between cached
     and uncached runs, the worst kind of nondeterminism because it only
     appears after a warm-up.

@@ -65,9 +65,13 @@ def _derived(counters: Dict[str, int]) -> Dict[str, Any]:
     python_events = counters.get("kernel.batch.python_events", 0)
     array_events = counters.get("kernel.batch.array_events", 0)
     batched = python_events + array_events
+    delta = counters.get("clock.rotation.delta", 0)
+    replay = counters.get("clock.rotation.replay", 0)
+    rotations = delta + replay
     return {
         "kernel_cache_hit_rate": (hits / total) if total else None,
         "kernel_array_path_share": (array_events / batched) if batched else None,
+        "rotation_delta_share": (delta / rotations) if rotations else None,
     }
 
 
@@ -142,6 +146,16 @@ def format_summary(registry: MetricsRegistry) -> str:
             for name in spans
         ]
         sections.append("spans:\n" + format_table(rows))
+    derived = {
+        name: value
+        for name, value in document["derived"].items()
+        if value is not None
+    }
+    if derived:
+        rows = [
+            {"derived": name, "value": f"{derived[name]:.4f}"} for name in derived
+        ]
+        sections.append("derived:\n" + format_table(rows))
     if not sections:
         return "(no metrics recorded)"
     return "\n\n".join(sections)

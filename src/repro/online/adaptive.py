@@ -12,13 +12,21 @@ through the lifecycle protocol of :class:`~repro.online.base.OnlineMechanism`
 * :class:`WindowedPopularityMechanism` - the paper's Popularity policy
   for the per-event choice, plus *retirement*: it counts, per component,
   the live events the component's vertex participates in, and gives the
-  slot back the moment (or, with ``eager=False``, at the first epoch
-  boundary after) the count hits zero.  Retiring only endpoint-dead
-  components is what keeps re-timestamping sound: a live event blocks
-  the retirement of both its endpoints, so every live event keeps a live
-  incrementing component and all live-pair causal verdicts survive the
-  slot compaction (the invariant
-  :func:`~repro.core.timestamping.verify_retimestamping` checks).
+  slot back once the count hits zero.  *When* a dead slot is reclaimed
+  is a policy (``retirement=``): ``"eager"`` retires on the expire tick
+  that kills the last live event, ``"epoch"`` defers to the next epoch
+  sweep, and ``"cost"`` holds a dead slot while its expected re-add cost
+  (a decayed per-vertex re-add counter) still beats the rent the slot
+  has accrued since death - cutting rotation *frequency* under thrashing
+  vertices, not just rotation cost.  All three retire only endpoint-dead
+  components, which is what keeps re-timestamping sound: a live event
+  blocks the retirement of both its endpoints, so every live event keeps
+  a live incrementing component and all live-pair causal verdicts
+  survive the slot compaction (the invariant
+  :func:`~repro.core.timestamping.verify_retimestamping` checks) - and
+  what keeps every rotation this mechanism triggers a *pure retirement*,
+  eligible for the :class:`~repro.core.timestamping.EpochClock`'s delta
+  (projection) rotation path.
 
 * :class:`EpochRotatingHybridMechanism` - the adaptive sibling of
   :class:`~repro.online.hybrid.HybridMechanism`.  Between boundaries it
@@ -42,7 +50,7 @@ every live-window event pair across retirements and rotations.
 from __future__ import annotations
 
 from time import perf_counter
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.timestamping import EpochClock
 from repro.exceptions import OnlineMechanismError
@@ -62,6 +70,50 @@ def _canonical_key(vertex: Vertex) -> Tuple[str, str]:
     return (type(vertex).__name__, repr(vertex))
 
 
+# -- retirement policies ------------------------------------------------------
+#: Retire a dead component on the expire tick that killed its last event.
+EAGER_RETIREMENT = "eager"
+#: Let dead components linger until the next ``end_epoch`` sweep.
+EPOCH_RETIREMENT = "epoch"
+#: Epoch-sweep retirement gated by the re-add cost model (see
+#: :class:`WindowedPopularityMechanism`).
+COST_RETIREMENT = "cost"
+
+#: Policies :class:`WindowedPopularityMechanism` accepts.
+RETIREMENT_POLICIES = (EAGER_RETIREMENT, EPOCH_RETIREMENT, COST_RETIREMENT)
+
+#: Per-tick decay of the re-add score (half-life of ~138 lifecycle ticks).
+_COST_DECAY = 0.995
+#: Rent (lifecycle ticks dead) one unit of re-add score excuses a slot
+#: from paying before it is reclaimed.
+_COST_GRACE_TICKS = 256.0
+#: Scores decayed below this are forgotten at the next epoch sweep, so
+#: the score table stays proportional to recently thrashing vertices.
+_COST_SCORE_FLOOR = 1e-3
+#: Minimum ticks a score ledger line survives untouched before it may be
+#: pruned - long enough for a fresh retiree's zero-score line to witness
+#: the re-add that would earn it a score.
+_COST_TTL_TICKS = 2048
+
+
+def _decay_factor(ticks: int) -> float:
+    """``_COST_DECAY ** ticks`` by binary exponentiation.
+
+    Repeated IEEE multiplication instead of ``math.pow``: the cost
+    policy feeds retirement decisions, which feed component sets, which
+    feed fingerprints, so the arithmetic must not depend on the
+    platform's libm.
+    """
+    result = 1.0
+    base = _COST_DECAY
+    while ticks:
+        if ticks & 1:
+            result *= base
+        base *= base
+        ticks >>= 1
+    return result
+
+
 class WindowedPopularityMechanism(OnlineMechanism):
     """Popularity's choice policy plus retirement of window-dead components.
 
@@ -75,7 +127,25 @@ class WindowedPopularityMechanism(OnlineMechanism):
     eager:
         When ``True`` (default) a component is retired by the expire tick
         that kills its last live event; when ``False`` dead components
-        linger until the next ``end_epoch`` sweep.
+        linger until the next ``end_epoch`` sweep.  Legacy switch kept
+        for callers predating ``retirement``; ignored when ``retirement``
+        is given explicitly.
+    retirement:
+        Retirement policy: ``"eager"`` / ``"epoch"`` (the two regimes
+        ``eager`` selects between) or ``"cost"``.  Under ``"cost"`` a
+        dead component is only reclaimed at an epoch sweep once the rent
+        it has accrued (lifecycle ticks since its last live event died)
+        exceeds the grace its *re-add score* buys: a per-vertex counter
+        bumped each time a previously retired vertex is adopted again,
+        decayed by :data:`_COST_DECAY` per tick.  A vertex that keeps
+        bouncing back earns score, so its slot survives quiet spells and
+        the retire-rotate / re-add-extend churn it would otherwise cause
+        disappears; a vertex that never returns has score zero and is
+        reclaimed at the first sweep after death, like ``"epoch"``.  The
+        policy is deterministic (pure integer tick arithmetic plus
+        fixed-sequence float multiplication) and keyed into
+        :meth:`summary` as ``"retirement"``.  Registered as
+        ``adaptive-popularity-cost``.
     windowed_degrees:
         **Off by default** (the append-only revealed-graph policy of the
         paper).  When ``True``, the per-event choice compares *windowed*
@@ -97,26 +167,57 @@ class WindowedPopularityMechanism(OnlineMechanism):
         tie_break: str = THREAD,
         eager: bool = True,
         windowed_degrees: bool = False,
+        retirement: Optional[str] = None,
     ) -> None:
         super().__init__()
         if tie_break not in (THREAD, OBJECT):
             raise OnlineMechanismError(
                 f"tie_break must be {THREAD!r} or {OBJECT!r}, got {tie_break!r}"
             )
+        if retirement is None:
+            retirement = EAGER_RETIREMENT if eager else EPOCH_RETIREMENT
+        if retirement not in RETIREMENT_POLICIES:
+            raise OnlineMechanismError(
+                f"retirement must be one of {RETIREMENT_POLICIES}, "
+                f"got {retirement!r}"
+            )
         self._tie_break = tie_break
-        self._eager = eager
+        self._retirement = retirement
+        self._eager = retirement == EAGER_RETIREMENT
         self._windowed_degrees = windowed_degrees
         if windowed_degrees:
             self.name = "adaptive-popularity-windowed"
+        elif retirement == COST_RETIREMENT:
+            self.name = "adaptive-popularity-cost"
         # Live events per endpoint vertex.  A vertex may only be retired
         # while its count is zero: that is the condition under which slot
         # compaction preserves every live-pair verdict.
         self._live_by_thread: Dict[Vertex, int] = {}
         self._live_by_object: Dict[Vertex, int] = {}
+        # Cost-policy state: the tick each currently dead component's
+        # vertex went dead, and the decayed re-add score per vertex as a
+        # ``(score, tick-of-last-touch)`` pair (decay applied lazily).
+        self._dead_thread_since: Dict[Vertex, int] = {}
+        self._dead_object_since: Dict[Vertex, int] = {}
+        self._readd_score: Dict[Vertex, Tuple[float, int]] = {}
 
     @property
     def windowed_degrees(self) -> bool:
         return self._windowed_degrees
+
+    @property
+    def retirement(self) -> str:
+        """The retirement policy in force (``eager`` / ``epoch`` / ``cost``)."""
+        return self._retirement
+
+    def _tick(self) -> int:
+        """The lifecycle clock the cost model meters rent in.
+
+        Observes plus expires: a slot's rent must keep accruing while
+        the stream drains (expire-heavy phases), not only while it
+        grows.
+        """
+        return self.events_seen + self.expires_seen
 
     def _choose(self, thread: Vertex, obj: Vertex) -> str:
         if self._windowed_degrees:
@@ -128,18 +229,41 @@ class WindowedPopularityMechanism(OnlineMechanism):
             thread_live = self._live_by_thread.get(thread, 0)
             object_live = self._live_by_object.get(obj, 0)
             if thread_live > object_live:
-                return THREAD
-            if object_live > thread_live:
-                return OBJECT
-            return self._tie_break
-        # Same policy as PopularityMechanism: degrees in the revealed
-        # (append-only) graph, which observe() has already updated.
-        return popularity_choice(self.revealed_graph, thread, obj, self._tie_break)
+                choice = THREAD
+            elif object_live > thread_live:
+                choice = OBJECT
+            else:
+                choice = self._tie_break
+        else:
+            # Same policy as PopularityMechanism: degrees in the revealed
+            # (append-only) graph, which observe() has already updated.
+            choice = popularity_choice(
+                self.revealed_graph, thread, obj, self._tie_break
+            )
+        if self._retirement == COST_RETIREMENT:
+            # _choose only runs for uncovered events, and the chosen side
+            # is adopted immediately after it returns - so this is
+            # exactly the re-add moment for a vertex with score history.
+            vertex = thread if choice == THREAD else obj
+            entry = self._readd_score.get(vertex)
+            if entry is not None:
+                score, touched = entry
+                tick = self._tick()
+                self._readd_score[vertex] = (
+                    score * _decay_factor(tick - touched) + 1.0,
+                    tick,
+                )
+        return choice
 
     # -- lifecycle hooks ----------------------------------------------------
     def _on_observe(self, thread: Vertex, obj: Vertex) -> None:
         self._live_by_thread[thread] = self._live_by_thread.get(thread, 0) + 1
         self._live_by_object[obj] = self._live_by_object.get(obj, 0) + 1
+        if self._retirement == COST_RETIREMENT:
+            # A dead component's vertex came back to life: it stops
+            # accruing rent (and stops being a retirement candidate).
+            self._dead_thread_since.pop(thread, None)
+            self._dead_object_since.pop(obj, None)
 
     def _on_expire(self, thread: Vertex, obj: Vertex) -> None:
         for counts, vertex in (
@@ -161,10 +285,67 @@ class WindowedPopularityMechanism(OnlineMechanism):
                 self._retire_component(thread)
             if obj not in self._live_by_object and obj in self._object_components:
                 self._retire_component(obj)
+        elif self._retirement == COST_RETIREMENT:
+            # Start the rent meter; retirement itself waits for a sweep.
+            tick = self._tick()
+            if thread not in self._live_by_thread and thread in self._thread_components:
+                self._dead_thread_since.setdefault(thread, tick)
+            if obj not in self._live_by_object and obj in self._object_components:
+                self._dead_object_since.setdefault(obj, tick)
+
+    def _cost_due(self, tick: int) -> List[Vertex]:
+        """Dead components whose accrued rent beats their re-add grace."""
+        due = []
+        for kind, component in self._component_order:
+            since = (
+                self._dead_thread_since if kind == THREAD
+                else self._dead_object_since
+            ).get(component)
+            if since is None:
+                continue
+            entry = self._readd_score.get(component)
+            if entry is not None:
+                score, touched = entry
+                grace = score * _decay_factor(tick - touched) * _COST_GRACE_TICKS
+            else:
+                grace = 0.0
+            if tick - since >= grace:
+                due.append(component)
+        return due
 
     def _on_end_epoch(self) -> Tuple[Vertex, ...]:
-        # With eager retirement this sweep is a no-op; without it, the
-        # boundary is where the window's dead components are reclaimed.
+        # With eager retirement this sweep is a no-op; with the epoch
+        # policy it reclaims every dead component; with the cost policy
+        # it reclaims the dead components whose rent has run out and
+        # remembers them in the re-add score table.
+        if self._retirement == COST_RETIREMENT:
+            tick = self._tick()
+            dead = self._cost_due(tick)
+            dead.sort(key=_canonical_key)
+            for component in dead:
+                self._retire_component(component)
+                self._dead_thread_since.pop(component, None)
+                self._dead_object_since.pop(component, None)
+                entry = self._readd_score.get(component)
+                if entry is None:
+                    # Open a ledger line so a future re-adoption of this
+                    # vertex is recognised and scored in _choose.
+                    self._readd_score[component] = (0.0, tick)
+            # Forget ledger lines that have sat untouched past the TTL
+            # with their score decayed to noise and no dead slot waiting,
+            # so the table tracks recent thrashers instead of every
+            # vertex ever retired.
+            stale = [
+                vertex
+                for vertex, (score, touched) in self._readd_score.items()
+                if tick - touched >= _COST_TTL_TICKS
+                and score * _decay_factor(tick - touched) < _COST_SCORE_FLOOR
+                and vertex not in self._dead_thread_since
+                and vertex not in self._dead_object_since
+            ]
+            for vertex in stale:
+                del self._readd_score[vertex]
+            return tuple(dead)
         dead = [
             component
             for kind, component in self._component_order
@@ -178,6 +359,11 @@ class WindowedPopularityMechanism(OnlineMechanism):
         for component in dead:
             self._retire_component(component)
         return tuple(dead)
+
+    def summary(self) -> Dict[str, object]:
+        data = super().summary()
+        data["retirement"] = self._retirement
+        return data
 
 
 class EpochRotatingHybridMechanism(OnlineMechanism):
@@ -292,16 +478,22 @@ class LifecycleClockDriver:
       (no epoch change - existing timestamps just gain a zero slot);
     * any *retirement or rebuild* (from an expire tick or an epoch
       boundary) rotates the kernel to the mechanism's new component set,
-      replaying the live window so every surviving event is
-      re-timestamped in the new epoch's basis.
+      re-stamping the live window in the new epoch's basis - by slot
+      projection when the rotation is a pure retirement, by replay
+      otherwise (see :meth:`EpochClock.rotate
+      <repro.core.timestamping.EpochClock.rotate>`; ``rotation=``
+      forces a strategy per driver).
 
-    With ``check_invariant=True`` every rotation proves the
+    With ``check_invariant=True`` every rotation replays and proves the
     re-timestamping invariant (verdict preservation over all live pairs)
     before committing - the property the test suite leans on.
     """
 
     def __init__(
-        self, mechanism: OnlineMechanism, check_invariant: bool = False
+        self,
+        mechanism: OnlineMechanism,
+        check_invariant: bool = False,
+        rotation: Optional[str] = None,
     ) -> None:
         if mechanism.events_seen:
             raise OnlineMechanismError(
@@ -309,7 +501,9 @@ class LifecycleClockDriver:
             )
         self._mechanism = mechanism
         self._clock = EpochClock(
-            mechanism.components(), check_invariant=check_invariant
+            mechanism.components(),
+            check_invariant=check_invariant,
+            rotation=rotation,
         )
 
     # -- introspection ------------------------------------------------------
@@ -331,9 +525,12 @@ class LifecycleClockDriver:
     def _rotate(self, components) -> None:
         """Rotate the clock, observing the latency when telemetry is on.
 
-        Rotation replays the whole live window (the driver's dominant
-        boundary cost - ROADMAP item 5's p99 target), so every rotation
-        goes through this one timed funnel.  The measurement changes
+        Rotation re-stamps the live window - ``O(live)`` projection on
+        the delta path, an ``O(window)`` replay otherwise - and was the
+        driver's dominant boundary cost (ROADMAP item 5's p99 target),
+        so every rotation goes through this one timed funnel; the
+        ``clock.rotation.delta`` / ``clock.rotation.replay`` counters
+        say which path each rotation took.  The measurement changes
         nothing the clock computes: the registry, when installed, only
         *receives* the duration.
         """
